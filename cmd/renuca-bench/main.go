@@ -1,0 +1,73 @@
+// Command renuca-bench regenerates the paper's evaluation: every table and
+// figure of Section V, printed as text tables with the paper's reference
+// values alongside.
+//
+// Usage:
+//
+//	renuca-bench -exp all              # everything (several minutes)
+//	renuca-bench -exp fig3             # one experiment
+//	renuca-bench -list                 # list experiment ids
+//	RENUCA_INSTR=200000 renuca-bench   # scale the measured windows
+//
+// Scale knobs (environment): RENUCA_INSTR, RENUCA_WARMUP (16-core runs),
+// RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP (single-core characterisation),
+// RENUCA_SEED.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	r := experiments.NewRunner(experiments.ParamsFromEnv())
+	if !*quiet {
+		r.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "renuca-bench:", err)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range todo {
+		out, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renuca-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", e.Title, out)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "# total %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,151 @@
+// Command renuca-sim runs one NUCA policy on one workload and prints the
+// full statistics breakdown: per-core IPC/WPKI/MPKI, per-bank writes and
+// lifetimes, LLC/NoC/DRAM/TLB/predictor counters.
+//
+// Usage:
+//
+//	renuca-sim -policy renuca -workload WL1
+//	renuca-sim -policy snuca -apps mcf,hmmer,...   (16 names)
+//	renuca-sim -policy rnuca -workload WL3 -instr 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/nuca"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func parsePolicy(s string) (nuca.Policy, error) {
+	switch strings.ToLower(s) {
+	case "snuca", "s-nuca":
+		return nuca.SNUCA, nil
+	case "rnuca", "r-nuca":
+		return nuca.RNUCA, nil
+	case "private":
+		return nuca.PrivateLLC, nil
+	case "naive":
+		return nuca.NaiveWL, nil
+	case "renuca", "re-nuca":
+		return nuca.ReNUCA, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (snuca|rnuca|private|naive|renuca)", s)
+}
+
+func main() {
+	policyFlag := flag.String("policy", "renuca", "NUCA policy: snuca|rnuca|private|naive|renuca")
+	wlFlag := flag.String("workload", "WL1", "standard workload name (WL1..WL10)")
+	appsFlag := flag.String("apps", "", "comma-separated app names, one per core (overrides -workload)")
+	instr := flag.Uint64("instr", 400_000, "measured instructions per core")
+	warmup := flag.Uint64("warmup", 150_000, "warmup instructions per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	threshold := flag.Float64("threshold", 10, "criticality threshold x% (default: the calibrated knee)")
+	listWL := flag.Bool("list-workloads", false, "print the standard workload mixes and exit")
+	flag.Parse()
+
+	if *listWL {
+		for _, wl := range workload.Standard(16) {
+			high, med, low := wl.Intensities()
+			fmt.Printf("%-5s (high=%d med=%d low=%d): %s\n", wl.Name, high, med, low, strings.Join(wl.Apps, " "))
+		}
+		return
+	}
+
+	policy, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+		os.Exit(1)
+	}
+
+	var apps []string
+	if *appsFlag != "" {
+		apps = strings.Split(*appsFlag, ",")
+	} else {
+		wl, err := workload.ByName(*wlFlag, 16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
+		}
+		apps = wl.Apps
+	}
+
+	cfg := sim.DefaultConfig(policy)
+	cfg.Seed = *seed
+	cfg.CPT.ThresholdPct = *threshold
+	if len(apps) != cfg.Cores {
+		fmt.Fprintf(os.Stderr, "renuca-sim: %d apps for %d cores\n", len(apps), cfg.Cores)
+		os.Exit(1)
+	}
+	profs := make([]trace.Profile, 0, len(apps))
+	for _, a := range apps {
+		p, err := trace.ProfileFor(strings.TrimSpace(a))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
+		}
+		profs = append(profs, p)
+	}
+
+	s, err := sim.New(cfg, profs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+		os.Exit(1)
+	}
+	res, err := s.RunMeasured(*warmup, *instr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("policy=%s instr/core=%d cycles=%d mean IPC=%.3f min lifetime=%.2fy write imbalance=%.2f\n\n",
+		res.Policy, *instr, res.MeasuredCycles, res.MeanIPC, res.MinLifetime, res.WriteImbalance)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "core\tapp\tIPC\tWPKI\tMPKI\tTLBmiss\tnoncrit-loads\tpred-acc")
+	for i := 0; i < cfg.Cores; i++ {
+		ctr := s.Counters(i)
+		fmt.Fprintf(w, "%d\t%s\t%.3f\t%.2f\t%.2f\t%d\t%.1f%%\t%.1f%%\n",
+			i, profs[i].Name, res.IPC[i], res.WPKI[i], res.MPKI[i], ctr.TLBMisses,
+			100*res.NonCriticalLoadFrac[i], 100*res.PredictorAccuracy[i])
+	}
+	w.Flush()
+
+	fmt.Println()
+	wb := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(wb, "bank\twrites\tmax-frame\tlifetime[y]")
+	wear := s.LLC().Wear()
+	for b := 0; b < cfg.LLC.NumBanks; b++ {
+		fmt.Fprintf(wb, "CB-%d\t%d\t%d\t%.2f\n",
+			b, wear.BankWrites(b), wear.MaxFrameWrites(b), res.BankLifetimes[b])
+	}
+	wb.Flush()
+
+	llc := res.LLC
+	fmt.Printf("\nLLC: read hits=%d misses=%d writebacks=%d (hit %d) fills=%d crit-fills=%d noncrit-fills=%d fallback probes=%d hits=%d\n",
+		llc.ReadHits, llc.ReadMisses, llc.Writebacks, llc.WritebackHits, llc.Fills,
+		llc.CriticalFills, llc.NonCriticalFills, llc.FallbackProbes, llc.FallbackHits)
+	ns := s.Mesh().Stats()
+	fmt.Printf("NoC: messages=%d hops=%d stall-cycles=%d\n", ns.Messages, ns.TotalHops, ns.StallCycles)
+	ds := s.DRAM().Stats()
+	fmt.Printf("DRAM: reads=%d writes=%d row hit/miss/conflict=%d/%d/%d queue-cycles=%d\n",
+		ds.Reads, ds.Writes, ds.RowHits, ds.RowMisses, ds.RowConflicts, ds.QueueCycles)
+	cs := s.Directory().Stats()
+	fmt.Printf("MESI: readmiss=%d writemiss=%d inval=%d shootdowns=%d\n",
+		cs.ReadMisses, cs.WriteMisses, cs.Invalidations, cs.Shootdowns)
+	var tlbMiss, tlbLost uint64
+	for i := 0; i < cfg.Cores; i++ {
+		ts := s.TLB(i).Stats()
+		tlbMiss += ts.Misses
+		tlbLost += ts.LostMappingBits
+	}
+	fmt.Printf("TLB: misses=%d lost mapping bits=%d\n", tlbMiss, tlbLost)
+	fmt.Printf("bank lifetimes h-mean=%.2fy min=%.2fy max=%.2fy\n",
+		stats.HarmonicMean(res.BankLifetimes), stats.Min(res.BankLifetimes), stats.Max(res.BankLifetimes))
+}

@@ -1,0 +1,77 @@
+// Command renuca-trace characterises the synthetic application models
+// against the paper's Table II: it runs each application alone on the
+// single-core configuration (256KB L2, one 2MB L3 bank) and prints measured
+// WPKI, MPKI, LLC hit rate and IPC next to the paper's reference values.
+//
+// Usage:
+//
+//	renuca-trace [-instr N] [-warmup N] [-app name] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	instr := flag.Uint64("instr", 1_000_000, "measured instructions")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions")
+	app := flag.String("app", "", "characterise a single application (default: all)")
+	seed := flag.Uint64("seed", 1, "trace generator seed")
+	describe := flag.Bool("describe", false, "print the derived profile structures instead of simulating")
+	flag.Parse()
+
+	names := trace.AppNames()
+	if *app != "" {
+		names = []string{*app}
+	}
+
+	if *describe {
+		for _, name := range names {
+			prof, err := trace.ProfileFor(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "renuca-trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(prof.Describe())
+		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tclass\tWPKI\t(paper)\tMPKI\t(paper)\thit\t(paper)\tIPC\t(paper)")
+	for _, name := range names {
+		prof, err := trace.ProfileFor(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renuca-trace: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := sim.CharacterisationConfig()
+		cfg.Seed = *seed
+		s, err := sim.New(cfg, []trace.Profile{prof})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renuca-trace: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := s.RunMeasured(*warmup, *instr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renuca-trace: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		ctr := s.Counters(0)
+		hit := 0.0
+		if acc := ctr.LLCHits + ctr.LLCMisses; acc > 0 {
+			hit = float64(ctr.LLCHits) / float64(acc)
+		}
+		p := prof.Paper
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			name, prof.Intensity(), res.WPKI[0], p.WPKI, res.MPKI[0], p.MPKI,
+			hit, p.HitRate, res.IPC[0], p.IPC)
+	}
+	w.Flush()
+}

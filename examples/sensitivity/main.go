@@ -1,0 +1,52 @@
+// Sensitivity: sweep the paper's Section V-C parameters on one workload.
+//
+// This example runs Re-NUCA and R-NUCA on workload WL2 under the baseline
+// configuration and the paper's three variations (L2 halved to 128KB, L3
+// banks halved to 1MB, ROB grown to 168 entries) and prints how the raw
+// minimum lifetime and mean IPC respond — the single-workload version of
+// the paper's Figures 13-18 and Table III.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	wl := core.StandardWorkloads()[1]
+	fmt.Printf("workload %s: %v\n\n", wl.Name, wl.Apps)
+
+	type variant struct {
+		name string
+		mod  func(*core.Options)
+	}
+	variants := []variant{
+		{"baseline", func(*core.Options) {}},
+		{"L2=128KB", func(o *core.Options) { o.L2Bytes = 128 << 10 }},
+		{"L3=1MB", func(o *core.Options) { o.L3BankBytes = 1 << 20 }},
+		{"ROB=168", func(o *core.Options) { o.ROBEntries = 168 }},
+	}
+
+	fmt.Printf("%-10s | %-9s %9s %13s | %-9s %9s %13s\n",
+		"variant", "policy", "IPC", "min life[y]", "policy", "IPC", "min life[y]")
+	for _, v := range variants {
+		row := fmt.Sprintf("%-10s |", v.name)
+		for _, p := range []core.Policy{core.ReNUCA, core.RNUCA} {
+			opts := core.DefaultOptions(p)
+			opts.Apps = wl.Apps
+			v.mod(&opts)
+			rep, err := core.Run(opts)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", v.name, p, err)
+			}
+			row += fmt.Sprintf(" %-9s %9.3f %13.2f |", rep.Policy, rep.MeanIPC, rep.MinLifetime)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\n(the paper finds Re-NUCA's lifetime edge over R-NUCA persists at")
+	fmt.Println(" 128KB L2 (+34.8%), 1MB L3 (+21%) and a 168-entry ROB (+39.9%))")
+}

@@ -1,0 +1,230 @@
+// Package coherence implements the MESI directory protocol Table I lists
+// for the shared LLC. The directory sits logically alongside the LLC and
+// tracks, for every LLC-resident line, which private L2 caches hold copies
+// and in which state. The evaluated workloads are multi-programmed (no data
+// sharing between cores — each core's address space is disjoint), so the
+// protocol's sharing transitions are exercised by unit tests and by the
+// inclusive-eviction shootdown path: when the LLC evicts a line, the
+// directory back-invalidates the upper-level copies, and a dirty private
+// copy must be written back.
+package coherence
+
+import "fmt"
+
+// State is a MESI line state as seen by the directory for one line.
+type State uint8
+
+const (
+	// Invalid: no private cache holds the line.
+	Invalid State = iota
+	// Shared: one or more private caches hold read-only copies.
+	Shared
+	// Exclusive: exactly one private cache holds a clean exclusive copy.
+	Exclusive
+	// Modified: exactly one private cache holds a dirty copy.
+	Modified
+)
+
+// String returns the MESI letter.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	ReadMisses      uint64 // GetS requests reaching the directory
+	WriteMisses     uint64 // GetM requests reaching the directory
+	Invalidations   uint64 // copies invalidated by upgrades or shootdowns
+	Downgrades      uint64 // M/E copies downgraded to S by remote reads
+	DirtyWritebacks uint64 // dirty data pushed down by invalidation/downgrade
+	Shootdowns      uint64 // inclusive back-invalidations from LLC evictions
+}
+
+type lineState struct {
+	state   State
+	sharers uint64 // bitmask of cores with a copy
+	owner   int    // valid for E/M
+}
+
+// Directory is the MESI directory. It supports up to 64 cores (bitmask
+// sharers). Not safe for concurrent use.
+type Directory struct {
+	numCores int
+	lines    map[uint64]*lineState // line address -> state
+	stats    Stats
+}
+
+// NewDirectory builds a directory for numCores private caches.
+func NewDirectory(numCores int) (*Directory, error) {
+	if numCores <= 0 || numCores > 64 {
+		return nil, fmt.Errorf("coherence: core count %d out of [1,64]", numCores)
+	}
+	return &Directory{numCores: numCores, lines: make(map[uint64]*lineState)}, nil
+}
+
+// MustNewDirectory is NewDirectory that panics on error.
+func MustNewDirectory(numCores int) *Directory {
+	d, err := NewDirectory(numCores)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Stats returns a copy of the counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+// StateOf returns the directory state for a line (Invalid when untracked).
+func (d *Directory) StateOf(addr uint64) State {
+	if ls, ok := d.lines[addr]; ok {
+		return ls.state
+	}
+	return Invalid
+}
+
+// Sharers returns the cores holding a copy of addr.
+func (d *Directory) Sharers(addr uint64) []int {
+	ls, ok := d.lines[addr]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for c := 0; c < d.numCores; c++ {
+		if ls.sharers&(1<<uint(c)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReadAcquire handles core's read (GetS) for addr after it missed the
+// private caches. It returns the cores whose copies were downgraded (the
+// simulator charges their snoop latency) and whether a dirty copy had to be
+// written back to the LLC first.
+func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded []int, dirtyWB bool) {
+	d.checkCore(core)
+	d.stats.ReadMisses++
+	ls, ok := d.lines[addr]
+	if !ok {
+		// First reader gets Exclusive (the E optimisation of MESI).
+		d.lines[addr] = &lineState{state: Exclusive, sharers: 1 << uint(core), owner: core}
+		return nil, false
+	}
+	switch ls.state {
+	case Modified:
+		dirtyWB = true
+		d.stats.DirtyWritebacks++
+		fallthrough
+	case Exclusive:
+		if ls.owner != core {
+			downgraded = append(downgraded, ls.owner)
+			d.stats.Downgrades++
+		}
+		ls.state = Shared
+	case Shared:
+		// Nothing to do.
+	case Invalid:
+		ls.state = Exclusive
+		ls.owner = core
+	}
+	ls.sharers |= 1 << uint(core)
+	if ls.state == Exclusive {
+		ls.owner = core
+	}
+	return downgraded, dirtyWB
+}
+
+// WriteAcquire handles core's write (GetM) for addr. It returns the cores
+// whose copies were invalidated and whether a remote dirty copy was written
+// back.
+func (d *Directory) WriteAcquire(addr uint64, core int) (invalidated []int, dirtyWB bool) {
+	d.checkCore(core)
+	d.stats.WriteMisses++
+	ls, ok := d.lines[addr]
+	if !ok {
+		d.lines[addr] = &lineState{state: Modified, sharers: 1 << uint(core), owner: core}
+		return nil, false
+	}
+	if ls.state == Modified && ls.owner != core {
+		dirtyWB = true
+		d.stats.DirtyWritebacks++
+	}
+	for c := 0; c < d.numCores; c++ {
+		if c != core && ls.sharers&(1<<uint(c)) != 0 {
+			invalidated = append(invalidated, c)
+			d.stats.Invalidations++
+		}
+	}
+	ls.state = Modified
+	ls.sharers = 1 << uint(core)
+	ls.owner = core
+	return invalidated, dirtyWB
+}
+
+// Release removes core's copy of addr (its private cache evicted the line).
+// dirty reports whether the private copy was dirty; the directory then
+// transitions M->I (data written back to LLC by the caller).
+func (d *Directory) Release(addr uint64, core int, dirty bool) {
+	d.checkCore(core)
+	ls, ok := d.lines[addr]
+	if !ok {
+		return
+	}
+	ls.sharers &^= 1 << uint(core)
+	if ls.sharers == 0 {
+		delete(d.lines, addr)
+		return
+	}
+	if (ls.state == Modified || ls.state == Exclusive) && ls.owner == core {
+		// Remaining copies (if any) are read-only.
+		ls.state = Shared
+	}
+	_ = dirty // dirtiness is the caller's write-back concern; tracked in stats by Shootdown/Acquire paths
+}
+
+// Shootdown back-invalidates every private copy of addr because the LLC is
+// evicting the line (inclusive hierarchy). It returns the cores that held
+// copies and whether any copy was dirty (needing a write-back ahead of the
+// eviction).
+func (d *Directory) Shootdown(addr uint64) (holders []int, dirty bool) {
+	ls, ok := d.lines[addr]
+	if !ok {
+		return nil, false
+	}
+	for c := 0; c < d.numCores; c++ {
+		if ls.sharers&(1<<uint(c)) != 0 {
+			holders = append(holders, c)
+			d.stats.Invalidations++
+		}
+	}
+	d.stats.Shootdowns++
+	dirty = ls.state == Modified
+	if dirty {
+		d.stats.DirtyWritebacks++
+	}
+	delete(d.lines, addr)
+	return holders, dirty
+}
+
+// TrackedLines returns how many lines the directory currently tracks.
+func (d *Directory) TrackedLines() int { return len(d.lines) }
+
+func (d *Directory) checkCore(core int) {
+	if core < 0 || core >= d.numCores {
+		panic(fmt.Sprintf("coherence: core %d out of range [0,%d)", core, d.numCores))
+	}
+}

@@ -1,0 +1,220 @@
+// Package core is the public face of the Re-NUCA library: it packages the
+// paper's contribution — criticality-directed hybrid NUCA placement for
+// ReRAM last-level caches — together with the substrate simulator behind a
+// small, stable API.
+//
+// The two entry points are Run, which executes one workload under one NUCA
+// policy and returns a Report, and RunSuite, which executes a set of
+// workloads and aggregates the paper's headline metrics (per-bank harmonic
+// mean lifetime, raw minimum lifetime, mean IPC).
+//
+// A minimal use looks like:
+//
+//	opts := core.DefaultOptions(core.ReNUCA)
+//	opts.Apps = []string{"mcf", "hmmer", ...}   // one per core
+//	report, err := core.Run(opts)
+//
+// See examples/ for complete programs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nuca"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy selects the NUCA organisation. The values re-export
+// internal/nuca's policies so callers need only this package.
+type Policy = nuca.Policy
+
+// The five schemes of the paper.
+const (
+	SNUCA   = nuca.SNUCA
+	RNUCA   = nuca.RNUCA
+	Private = nuca.PrivateLLC
+	Naive   = nuca.NaiveWL
+	ReNUCA  = nuca.ReNUCA
+)
+
+// Policies lists all five schemes in the paper's presentation order.
+func Policies() []Policy { return nuca.Policies() }
+
+// Options parameterises a run. DefaultOptions fills the paper's Table I
+// baseline; the sensitivity fields mirror Section V-C's sweeps.
+type Options struct {
+	Policy Policy
+	// Apps assigns one application per core (names from trace.AppNames).
+	Apps []string
+	// InstrPerCore is the measured instruction count per core; Warmup runs
+	// first without statistics.
+	InstrPerCore uint64
+	Warmup       uint64
+	Seed         uint64
+
+	// Sensitivity knobs (zero = Table I default).
+	L2Bytes                 uint64  // default 256KB; the paper sweeps 128KB
+	L3BankBytes             uint64  // default 2MB; the paper sweeps 1MB
+	ROBEntries              int     // default 128; the paper sweeps 168
+	CriticalityThresholdPct float64 // default: the calibrated knee (see predictor)
+
+	// IntraBankWL enables the i2wap-style intra-bank rotation extension
+	// (orthogonal to the NUCA policy; improves first-failure lifetime).
+	IntraBankWL bool
+
+	// ReRAMWriteLatency overrides the ReRAM array write time (default:
+	// equal to the 100-cycle read latency, as Table I's single figure).
+	// ReRAM writes are really 2-5x slower than reads; the write-latency
+	// ablation sweeps this.
+	ReRAMWriteLatency uint32
+}
+
+// DefaultOptions returns the Table I configuration for a policy with a
+// laptop-friendly measured window. The paper simulates 100M instructions
+// per core in gem5; the defaults here are sized so a full experiment suite
+// runs in minutes while preserving every qualitative result (EXPERIMENTS.md
+// quantifies the residual scale effects).
+func DefaultOptions(p Policy) Options {
+	return Options{
+		Policy:       p,
+		InstrPerCore: 400_000,
+		Warmup:       150_000,
+		Seed:         1,
+	}
+}
+
+// Report is the outcome of one measured run.
+type Report struct {
+	sim.Result
+	Workload string
+	Apps     []string
+}
+
+// LLCWrites returns total ReRAM writes (fills + write-back hits).
+func (r Report) LLCWrites() uint64 {
+	return r.LLC.Fills + r.LLC.WritebackHits
+}
+
+// MinFirstFailure returns the worst bank's first-failure lifetime (time
+// until its hottest frame dies) — the metric the intra-bank wear-leveling
+// extension improves.
+func (r Report) MinFirstFailure() float64 {
+	min := r.FirstFailureLifetimes[0]
+	for _, l := range r.FirstFailureLifetimes[1:] {
+		if l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// config translates Options into the simulator configuration.
+func config(o Options) (sim.Config, error) {
+	cfg := sim.DefaultConfig(o.Policy)
+	cfg.Seed = o.Seed
+	if o.L2Bytes != 0 {
+		cfg.L2.SizeBytes = o.L2Bytes
+	}
+	if o.L3BankBytes != 0 {
+		cfg.LLC.BankBytes = o.L3BankBytes
+	}
+	if o.ROBEntries != 0 {
+		cfg.CPU.ROBEntries = o.ROBEntries
+	}
+	if o.CriticalityThresholdPct != 0 {
+		cfg.CPT.ThresholdPct = o.CriticalityThresholdPct
+	}
+	cfg.LLC.IntraBankWL = o.IntraBankWL
+	if o.ReRAMWriteLatency != 0 {
+		cfg.LLC.WriteLatency = o.ReRAMWriteLatency
+		// Slower writes hold the array longer before the bank frees.
+		cfg.LLC.WriteOccupancy = o.ReRAMWriteLatency / 5
+	}
+	if len(o.Apps) != cfg.Cores {
+		return cfg, fmt.Errorf("core: %d apps for %d cores", len(o.Apps), cfg.Cores)
+	}
+	return cfg, nil
+}
+
+// Run executes one workload under o and returns the Report.
+func Run(o Options) (Report, error) {
+	cfg, err := config(o)
+	if err != nil {
+		return Report{}, err
+	}
+	profs := make([]trace.Profile, 0, len(o.Apps))
+	for _, name := range o.Apps {
+		p, err := trace.ProfileFor(name)
+		if err != nil {
+			return Report{}, err
+		}
+		profs = append(profs, p)
+	}
+	s, err := sim.New(cfg, profs)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := s.RunMeasured(o.Warmup, o.InstrPerCore)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Result: res, Apps: o.Apps}, nil
+}
+
+// SuiteReport aggregates a policy's behaviour over a set of workloads the
+// way the paper reports it.
+type SuiteReport struct {
+	Policy  string
+	Reports []Report
+
+	// BankHMeanLifetimes is, per bank, the harmonic mean over workloads of
+	// the bank's capacity lifetime in years (Figures 3/12/13/15/17).
+	BankHMeanLifetimes []float64
+	// RawMinLifetime is the minimum lifetime of any bank in any workload
+	// (Table III).
+	RawMinLifetime float64
+	// MeanIPC averages the per-workload mean IPC (Figure 4's x-axis).
+	MeanIPC float64
+	// HMeanLifetime is the harmonic mean over all banks and workloads
+	// (Figure 4's y-axis).
+	HMeanLifetime float64
+}
+
+// RunSuite executes every workload under the policy configured in base
+// (base.Apps is ignored) and aggregates the results.
+func RunSuite(base Options, workloads []workload.Workload) (SuiteReport, error) {
+	sr := SuiteReport{Policy: base.Policy.String()}
+	var perBank [][]float64
+	var ipcs, all []float64
+	for _, wl := range workloads {
+		o := base
+		o.Apps = wl.Apps
+		rep, err := Run(o)
+		if err != nil {
+			return SuiteReport{}, fmt.Errorf("%s on %s: %w", base.Policy, wl.Name, err)
+		}
+		rep.Workload = wl.Name
+		sr.Reports = append(sr.Reports, rep)
+		if perBank == nil {
+			perBank = make([][]float64, len(rep.BankLifetimes))
+		}
+		for b, l := range rep.BankLifetimes {
+			perBank[b] = append(perBank[b], l)
+			all = append(all, l)
+		}
+		ipcs = append(ipcs, rep.MeanIPC)
+	}
+	for _, ls := range perBank {
+		sr.BankHMeanLifetimes = append(sr.BankHMeanLifetimes, stats.HarmonicMean(ls))
+	}
+	sr.RawMinLifetime = stats.Min(all)
+	sr.MeanIPC = stats.Mean(ipcs)
+	sr.HMeanLifetime = stats.HarmonicMean(all)
+	return sr, nil
+}
+
+// StandardWorkloads returns the paper's WL1..WL10 for the 16-core system.
+func StandardWorkloads() []workload.Workload { return workload.Standard(16) }

@@ -1,0 +1,301 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// scriptGen replays a fixed instruction slice, then repeats the last
+// instruction forever.
+type scriptGen struct {
+	instrs []trace.Instr
+	pos    int
+}
+
+func (g *scriptGen) Name() string { return "script" }
+func (g *scriptGen) Next(in *trace.Instr) {
+	if g.pos < len(g.instrs) {
+		*in = g.instrs[g.pos]
+		g.pos++
+		return
+	}
+	*in = trace.Instr{Kind: trace.ALU, PC: 0xFFF}
+}
+
+// fixedMem returns a constant latency for loads and stores.
+type fixedMem struct {
+	loadLat  uint64
+	storeLat uint64
+	loads    []uint64 // addresses seen
+	crits    []bool
+}
+
+func (m *fixedMem) Load(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
+	m.loads = append(m.loads, addr)
+	m.crits = append(m.crits, critical)
+	return cycle + m.loadLat
+}
+
+func (m *fixedMem) Store(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
+	return cycle + m.storeLat
+}
+
+func run(c *Core, cycles uint64) {
+	var cyc uint64
+	for cyc < cycles {
+		next := c.Tick(cyc)
+		if next <= cyc {
+			cyc++
+		} else {
+			cyc = next
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := &scriptGen{}
+	m := &fixedMem{loadLat: 10, storeLat: 2}
+	bad := []Config{
+		{ROBEntries: 0, IssueWidth: 4, CommitWidth: 4},
+		{ROBEntries: 128, IssueWidth: 0, CommitWidth: 4},
+		{ROBEntries: 128, IssueWidth: 4, CommitWidth: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(0, cfg, g, m, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New(0, DefaultConfig(), nil, m, nil); err == nil {
+		t.Error("nil generator must be rejected")
+	}
+	if _, err := New(0, DefaultConfig(), g, nil, nil); err == nil {
+		t.Error("nil memory must be rejected")
+	}
+}
+
+func TestALUOnlyIPCApproachesWidth(t *testing.T) {
+	g := &scriptGen{} // pure independent ALU stream
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 1, storeLat: 1}, nil)
+	run(c, 10000)
+	ipc := float64(c.Stats().Committed) / 10000
+	if ipc < 3.5 {
+		t.Errorf("independent ALU IPC = %v, want near issue width 4", ipc)
+	}
+}
+
+func TestDependentALUChainSerialises(t *testing.T) {
+	// Every instruction depends on its predecessor: IPC ~= 1.
+	var instrs []trace.Instr
+	for i := 0; i < 20000; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 1, DepDist: 1})
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 1, storeLat: 1}, nil)
+	run(c, 10000)
+	ipc := float64(c.Stats().Committed) / 10000
+	if ipc > 1.2 || ipc < 0.8 {
+		t.Errorf("fully-dependent ALU IPC = %v, want ~1", ipc)
+	}
+}
+
+func TestLongLoadBlocksROBHead(t *testing.T) {
+	instrs := []trace.Instr{
+		{Kind: trace.Load, PC: 0x10, Addr: 0x1000},
+	}
+	for i := 0; i < 300; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 0x20})
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 200, storeLat: 1}, nil)
+	run(c, 1000)
+	s := c.Stats()
+	if s.HeadBlockEpisodes != 1 {
+		t.Errorf("head-block episodes = %d, want 1", s.HeadBlockEpisodes)
+	}
+	if s.HeadBlockCycles < 150 {
+		t.Errorf("head-block cycles = %d, want ~200", s.HeadBlockCycles)
+	}
+}
+
+func TestFastLoadDoesNotBlockHead(t *testing.T) {
+	// A load that completes in 3 cycles, preceded by enough ALU work that
+	// it is never the oldest incomplete instruction.
+	var instrs []trace.Instr
+	for i := 0; i < 100; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 0x1})
+		instrs = append(instrs, trace.Instr{Kind: trace.Load, PC: 0x30, Addr: 64 * uint64(i)})
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 0x2})
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 2, storeLat: 1}, nil)
+	run(c, 2000)
+	s := c.Stats()
+	if s.HeadBlockEpisodes != 0 {
+		t.Errorf("fast loads blocked the head %d times", s.HeadBlockEpisodes)
+	}
+	if s.CommittedLoads == 0 {
+		t.Error("no loads committed")
+	}
+	if f := s.NonCriticalLoadFraction(); f != 1 {
+		t.Errorf("non-critical fraction %v, want 1", f)
+	}
+}
+
+func TestDependentLoadChainBoundsIPC(t *testing.T) {
+	// Pointer chase: every 10th instruction is a load depending on the
+	// previous load; loads take 100 cycles. IPC must be ~10/100.
+	var instrs []trace.Instr
+	for i := 0; i < 5000; i++ {
+		if i%10 == 0 {
+			dep := uint32(0)
+			if i > 0 {
+				dep = 10
+			}
+			instrs = append(instrs, trace.Instr{Kind: trace.Load, PC: 0x50, Addr: uint64(i) * 64, DepDist: dep})
+		} else {
+			instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 0x60})
+		}
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 100, storeLat: 1}, nil)
+	run(c, 20000)
+	// Only count the scripted portion.
+	committed := c.Stats().Committed
+	if committed > 5000 {
+		committed = 5000
+	}
+	ipc := float64(committed) / 20000
+	if ipc > 0.2 {
+		t.Errorf("chase IPC = %v, want ~0.1 (serialised misses)", ipc)
+	}
+	if c.Stats().HeadBlockEpisodes < 100 {
+		t.Errorf("chase should block the head repeatedly, got %d", c.Stats().HeadBlockEpisodes)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// Independent 100-cycle loads every 10 instructions: the ROB can hold
+	// ~12 loads in flight, so IPC should be far higher than the chase.
+	var instrs []trace.Instr
+	for i := 0; i < 5000; i++ {
+		if i%10 == 0 {
+			instrs = append(instrs, trace.Instr{Kind: trace.Load, PC: 0x50, Addr: uint64(i) * 64})
+		} else {
+			instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 0x60})
+		}
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 100, storeLat: 1}, nil)
+	run(c, 4000)
+	ipc := float64(c.Stats().Committed) / 4000
+	if ipc < 1.0 {
+		t.Errorf("independent-load IPC = %v, want > 1 (memory-level parallelism)", ipc)
+	}
+}
+
+func TestStoresDoNotBlockCommit(t *testing.T) {
+	var instrs []trace.Instr
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.Store, PC: 0x70, Addr: uint64(i) * 64})
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 500, storeLat: 2}, nil)
+	run(c, 2000)
+	if c.Stats().CommittedStores < 900 {
+		t.Errorf("stores committed = %d, want ~1000 (store buffer absorbs latency)", c.Stats().CommittedStores)
+	}
+}
+
+func TestPredictorIntegration(t *testing.T) {
+	// One PC issues loads that always block (200-cycle latency, no other
+	// work): the CPT must learn it is critical, and the core must pass
+	// critical=true to the memory system once learned.
+	var instrs []trace.Instr
+	for i := 0; i < 200; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.Load, PC: 0xAA, Addr: uint64(i) * 64, DepDist: 1})
+	}
+	g := &scriptGen{instrs: instrs}
+	cpt := predictor.MustNew(predictor.Config{Entries: 64, ThresholdPct: 3})
+	m := &fixedMem{loadLat: 200, storeLat: 1}
+	c := MustNew(0, DefaultConfig(), g, m, cpt)
+	run(c, 50000)
+	if got := c.Stats().HeadBlockEpisodes; got < 100 {
+		t.Fatalf("expected many head blocks, got %d", got)
+	}
+	// After the first commit inserted the PC, later loads must be
+	// predicted critical.
+	sawCritical := false
+	for _, crit := range m.crits[2:] {
+		if crit {
+			sawCritical = true
+			break
+		}
+	}
+	if !sawCritical {
+		t.Error("predictor never flagged the always-blocking PC as critical")
+	}
+	if n, rb, ok := cpt.Lookup(0xAA); !ok || rb == 0 || n == 0 {
+		t.Errorf("CPT entry: n=%d rb=%d ok=%v", n, rb, ok)
+	}
+}
+
+func TestTargetAndDone(t *testing.T) {
+	g := &scriptGen{}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 1, storeLat: 1}, nil)
+	c.SetTarget(1000)
+	if done, _ := c.Done(); done {
+		t.Fatal("not done before running")
+	}
+	run(c, 5000)
+	done, at := c.Done()
+	if !done {
+		t.Fatal("should be done after 5000 cycles of ALU work")
+	}
+	if at == 0 || at > 5000 {
+		t.Errorf("done cycle %d out of range", at)
+	}
+	if c.Stats().Committed < 1000 {
+		t.Error("committed fewer than target")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	g := &scriptGen{}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 1, storeLat: 1}, nil)
+	run(c, 100)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not zeroed")
+	}
+}
+
+func TestNonCriticalFractionEmptyIsZero(t *testing.T) {
+	if (Stats{}).NonCriticalLoadFraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestTickWakeHint(t *testing.T) {
+	// With the ROB full behind a 1000-cycle load, Tick should propose
+	// sleeping until the head completes.
+	instrs := []trace.Instr{{Kind: trace.Load, PC: 1, Addr: 0}}
+	for i := 0; i < 500; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 2})
+	}
+	g := &scriptGen{instrs: instrs}
+	c := MustNew(0, DefaultConfig(), g, &fixedMem{loadLat: 1000, storeLat: 1}, nil)
+	var wake uint64
+	for cyc := uint64(0); cyc < 200; {
+		wake = c.Tick(cyc)
+		if wake <= cyc {
+			cyc++
+		} else {
+			cyc = wake
+		}
+	}
+	if wake < 900 {
+		t.Errorf("wake hint %d, want ~1001 (head completion)", wake)
+	}
+}

@@ -1,0 +1,174 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// orderMem records the cycle at which each memory operation was issued to
+// the hierarchy, to verify causal ordering of deferred walks.
+type orderMem struct {
+	loadLat uint64
+	issues  []uint64 // issue cycles in call order
+	addrs   []uint64
+}
+
+func (m *orderMem) Load(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
+	m.issues = append(m.issues, cycle)
+	m.addrs = append(m.addrs, addr)
+	return cycle + m.loadLat
+}
+
+func (m *orderMem) Store(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
+	m.issues = append(m.issues, cycle)
+	m.addrs = append(m.addrs, addr)
+	return cycle + 1
+}
+
+func TestDeferredLoadIssuesAtOperandReady(t *testing.T) {
+	// load A (100 cycles), then a dependent load B: B's walk must be
+	// issued at A's completion, not at dispatch.
+	instrs := []trace.Instr{
+		{Kind: trace.Load, PC: 1, Addr: 0x100},
+		{Kind: trace.Load, PC: 2, Addr: 0x200, DepDist: 1},
+	}
+	for i := 0; i < 50; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 3})
+	}
+	m := &orderMem{loadLat: 100}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	run(c, 500)
+	if len(m.issues) < 2 {
+		t.Fatalf("only %d memory issues", len(m.issues))
+	}
+	if m.issues[0] != 1 {
+		t.Errorf("load A issued at %d, want 1", m.issues[0])
+	}
+	// A completes at 101; B must be issued at >= 101, not at dispatch (~0).
+	if m.issues[1] < 101 {
+		t.Errorf("dependent load issued at %d, before its operand existed (A completes at 101)", m.issues[1])
+	}
+	if m.issues[1] > 110 {
+		t.Errorf("dependent load issued at %d, long after its operand arrived", m.issues[1])
+	}
+}
+
+// MustNewScripted builds a core over a fixed instruction script.
+func MustNewScripted(id int, cfg Config, mem MemSystem, instrs []trace.Instr) *Core {
+	return MustNew(id, cfg, &scriptGen{instrs: instrs}, mem, nil)
+}
+
+func TestPendingChainResolvesTransitively(t *testing.T) {
+	// A -> B -> C chained loads: each must issue only after its producer.
+	instrs := []trace.Instr{
+		{Kind: trace.Load, PC: 1, Addr: 0x100},
+		{Kind: trace.Load, PC: 2, Addr: 0x200, DepDist: 1},
+		{Kind: trace.Load, PC: 3, Addr: 0x300, DepDist: 1},
+	}
+	for i := 0; i < 50; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 4})
+	}
+	m := &orderMem{loadLat: 50}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	run(c, 1000)
+	if len(m.issues) != 3 {
+		t.Fatalf("%d memory issues, want 3", len(m.issues))
+	}
+	for i := 1; i < 3; i++ {
+		if m.issues[i] < m.issues[i-1]+50 {
+			t.Errorf("chain link %d issued at %d, producer completed at %d",
+				i, m.issues[i], m.issues[i-1]+50)
+		}
+	}
+}
+
+func TestDeferredALUCompletesAfterProducer(t *testing.T) {
+	// An ALU consuming a pending load's result must not commit before the
+	// load returns.
+	instrs := []trace.Instr{
+		{Kind: trace.Load, PC: 1, Addr: 0x100},
+		{Kind: trace.ALU, PC: 2, DepDist: 1},
+	}
+	m := &orderMem{loadLat: 200}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	var committedAt uint64
+	for cyc := uint64(0); cyc < 400; {
+		next := c.Tick(cyc)
+		if c.Stats().Committed >= 2 && committedAt == 0 {
+			committedAt = cyc
+		}
+		if next <= cyc {
+			cyc++
+		} else {
+			cyc = next
+		}
+	}
+	if committedAt == 0 {
+		t.Fatal("pair never committed")
+	}
+	if committedAt < 201 {
+		t.Errorf("dependent ALU committed at %d, before load data at 201", committedAt)
+	}
+}
+
+func TestPendingStoreDirtyAfterProducer(t *testing.T) {
+	// A store consuming a pending load (the paired RMW store) must walk
+	// only after the load completes.
+	instrs := []trace.Instr{
+		{Kind: trace.Load, PC: 1, Addr: 0x100},
+		{Kind: trace.Store, PC: 2, Addr: 0x100, DepDist: 1},
+	}
+	m := &orderMem{loadLat: 150}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	run(c, 500)
+	if len(m.issues) != 2 {
+		t.Fatalf("%d issues, want 2", len(m.issues))
+	}
+	if m.issues[1] < 151 {
+		t.Errorf("paired store walked at %d, before its producer's data at 151", m.issues[1])
+	}
+}
+
+func TestPendingOpsDrain(t *testing.T) {
+	var instrs []trace.Instr
+	for i := 0; i < 40; i++ {
+		dep := uint32(0)
+		if i > 0 {
+			dep = 1
+		}
+		instrs = append(instrs, trace.Instr{Kind: trace.Load, PC: 5, Addr: uint64(i) * 64, DepDist: dep})
+	}
+	m := &orderMem{loadLat: 20}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	run(c, 5000)
+	if got := c.PendingOps(); got != 0 {
+		t.Errorf("pending ops %d after drain, want 0", got)
+	}
+	if len(m.issues) != 40 {
+		t.Errorf("issued %d loads, want 40", len(m.issues))
+	}
+}
+
+func TestROBOccupancyBounded(t *testing.T) {
+	instrs := []trace.Instr{{Kind: trace.Load, PC: 1, Addr: 0}}
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, trace.Instr{Kind: trace.ALU, PC: 2})
+	}
+	m := &orderMem{loadLat: 10_000}
+	c := MustNewScripted(0, DefaultConfig(), m, instrs)
+	for cyc := uint64(0); cyc < 2000; {
+		next := c.Tick(cyc)
+		if got := c.ROBOccupancy(); got > 128 {
+			t.Fatalf("ROB occupancy %d exceeds capacity", got)
+		}
+		if next <= cyc {
+			cyc++
+		} else {
+			cyc = next
+		}
+	}
+	if c.ROBOccupancy() != 128 {
+		t.Errorf("ROB should be full behind the blocked load, got %d", c.ROBOccupancy())
+	}
+}

@@ -1,0 +1,108 @@
+// Package energy estimates the power/energy side of the paper's
+// motivation: large SRAM last-level caches dissipate most of their power as
+// leakage ("standby power is up to 80% of their total power", Section I),
+// while ReRAM is near-zero-leakage but pays more per write. The accountant
+// converts the simulator's event counters — LLC reads/writes, DRAM
+// accesses, NoC hops — plus the elapsed time into energy, under either an
+// SRAM or a ReRAM LLC technology model, so the technologies and NUCA
+// policies can be compared on the axis the paper uses to justify ReRAM in
+// the first place.
+//
+// The numbers are order-of-magnitude device parameters (CACTI/NVSim-class
+// figures for ~32nm, 2MB banks), not calibrated silicon: what matters for
+// the reproduction is the structure — leakage dominating SRAM at LLC scale,
+// writes dominating the ReRAM dynamic share.
+package energy
+
+import "fmt"
+
+// Technology models one LLC storage technology.
+type Technology struct {
+	Name string
+	// ReadEnergy/WriteEnergy are per 64B line access, in nanojoules.
+	ReadEnergy  float64
+	WriteEnergy float64
+	// LeakagePower is static power per bank, in watts.
+	LeakagePower float64
+}
+
+// SRAM returns an SRAM LLC model: cheap accesses, heavy leakage (a 32MB
+// high-performance SRAM LLC leaks watts; 0.25W per 2MB bank).
+func SRAM() Technology {
+	return Technology{Name: "SRAM", ReadEnergy: 0.3, WriteEnergy: 0.3, LeakagePower: 0.25}
+}
+
+// ReRAM returns a metal-oxide ReRAM LLC model: reads comparable to SRAM,
+// writes an order of magnitude more expensive, near-zero leakage (only the
+// periphery leaks).
+func ReRAM() Technology {
+	return Technology{Name: "ReRAM", ReadEnergy: 0.5, WriteEnergy: 4.0, LeakagePower: 0.01}
+}
+
+// Counts are the activity totals of one measured run.
+type Counts struct {
+	LLCReads   uint64 // bank read probes (hits and miss checks)
+	LLCWrites  uint64 // fills + write-back hits
+	DRAMReads  uint64
+	DRAMWrites uint64
+	NoCHops    uint64
+	Banks      int
+	Seconds    float64 // wall-clock simulated time
+}
+
+// Validate rejects impossible inputs.
+func (c Counts) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("energy: bank count %d must be positive", c.Banks)
+	}
+	if c.Seconds <= 0 {
+		return fmt.Errorf("energy: elapsed time %v must be positive", c.Seconds)
+	}
+	return nil
+}
+
+// Fixed per-event costs for the non-LLC components (nanojoules).
+const (
+	dramAccessNJ = 20.0 // row activation + burst, amortised per 64B line
+	nocHopNJ     = 0.05 // router + link traversal per hop
+)
+
+// Breakdown is the energy estimate of one run under one technology.
+type Breakdown struct {
+	Technology string
+	// All energies in millijoules over the measured window.
+	LLCDynamic float64
+	LLCLeakage float64
+	DRAM       float64
+	NoC        float64
+}
+
+// Total returns the sum in millijoules.
+func (b Breakdown) Total() float64 {
+	return b.LLCDynamic + b.LLCLeakage + b.DRAM + b.NoC
+}
+
+// LeakageShare returns the LLC leakage fraction of the LLC total — the
+// quantity the paper's Section I quotes as "up to 80%" for SRAM.
+func (b Breakdown) LeakageShare() float64 {
+	t := b.LLCDynamic + b.LLCLeakage
+	if t == 0 {
+		return 0
+	}
+	return b.LLCLeakage / t
+}
+
+// Estimate converts activity counts into an energy breakdown under tech.
+func Estimate(tech Technology, c Counts) (Breakdown, error) {
+	if err := c.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	nj := func(x float64) float64 { return x * 1e-6 } // nJ -> mJ
+	return Breakdown{
+		Technology: tech.Name,
+		LLCDynamic: nj(float64(c.LLCReads)*tech.ReadEnergy + float64(c.LLCWrites)*tech.WriteEnergy),
+		LLCLeakage: tech.LeakagePower * float64(c.Banks) * c.Seconds * 1e3, // W*s -> mJ
+		DRAM:       nj(float64(c.DRAMReads+c.DRAMWrites) * dramAccessNJ),
+		NoC:        nj(float64(c.NoCHops) * nocHopNJ),
+	}, nil
+}

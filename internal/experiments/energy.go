@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// EnergyPoint is one (policy, technology) energy estimate over WL1.
+type EnergyPoint struct {
+	Policy    string
+	Breakdown energy.Breakdown
+}
+
+// EnergyStudy estimates the LLC/DRAM/NoC energy of each NUCA policy on WL1
+// under both LLC technologies — the paper's Section I motivation ("standby
+// power is up to 80% of total" for SRAM LLCs; ReRAM's near-zero standby is
+// why its endurance problem is worth solving).
+func (r *Runner) EnergyStudy() ([]EnergyPoint, error) {
+	wl := r.workloads()[0]
+	var out []EnergyPoint
+	for _, p := range core.Policies() {
+		o := core.DefaultOptions(p)
+		o.InstrPerCore = r.P.InstrPerCore
+		o.Warmup = r.P.Warmup
+		o.Seed = r.P.Seed
+		o.Apps = wl.Apps
+		r.logf("energy study: %s on %s", p, wl.Name)
+		rep, err := core.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("energy study %s: %w", p, err)
+		}
+		for _, tech := range []energy.Technology{energy.SRAM(), energy.ReRAM()} {
+			b, err := energy.Estimate(tech, rep.Energy)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, EnergyPoint{Policy: rep.Policy, Breakdown: b})
+		}
+	}
+	return out, nil
+}
+
+// RenderEnergyStudy prints the per-policy, per-technology breakdown.
+func RenderEnergyStudy(points []EnergyPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Energy study on WL1: LLC technology comparison (motivation, paper §I)")
+	fmt.Fprintf(&b, "%-9s %-6s %12s %12s %9s %8s %10s %12s\n",
+		"policy", "tech", "LLC dyn[mJ]", "LLC leak[mJ]", "DRAM[mJ]", "NoC[mJ]", "total[mJ]", "leak share")
+	for _, p := range points {
+		bd := p.Breakdown
+		fmt.Fprintf(&b, "%-9s %-6s %12.3f %12.3f %9.3f %8.3f %10.3f %11.0f%%\n",
+			p.Policy, bd.Technology, bd.LLCDynamic, bd.LLCLeakage, bd.DRAM, bd.NoC,
+			bd.Total(), 100*bd.LeakageShare())
+	}
+	b.WriteString("(SRAM's LLC energy is leakage-dominated — the paper's case for ReRAM;\n")
+	b.WriteString(" ReRAM pays more per write, which is why its wear must be levelled)\n")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulated 16-core CMP. Each experiment has
+// a typed result and a Render method that prints the same rows/series the
+// paper reports, alongside the paper's reference numbers where the paper
+// states them.
+//
+// A Runner memoises the expensive simulation suites so experiments that
+// share runs (Figure 3, Figure 11, Figure 12 and Table III all consume the
+// same five policy suites) execute them once.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Params scales the experiments. The paper fast-forwards 2B instructions
+// and measures 100M per core under gem5; these windows are sized for
+// minutes-scale wall-clock on one host CPU while preserving the paper's
+// qualitative results.
+type Params struct {
+	// InstrPerCore/Warmup drive the 16-core workload experiments.
+	InstrPerCore uint64
+	Warmup       uint64
+	// CharInstr/CharWarmup drive the single-core characterisation runs
+	// (Table II, Figures 2, 5, 7, 8, 9), which are cheap enough to run
+	// much longer — long windows matter there because write-backs lag
+	// fills by the L2 turnover time.
+	CharInstr  uint64
+	CharWarmup uint64
+	Seed       uint64
+}
+
+// DefaultParams returns the standard scale.
+func DefaultParams() Params {
+	return Params{
+		InstrPerCore: 400_000,
+		Warmup:       150_000,
+		CharInstr:    3_000_000,
+		CharWarmup:   800_000,
+		Seed:         1,
+	}
+}
+
+// ParamsFromEnv starts from DefaultParams and applies the RENUCA_INSTR,
+// RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP and RENUCA_SEED
+// environment overrides, so benchmark runs can be scaled without editing
+// code.
+func ParamsFromEnv() Params {
+	p := DefaultParams()
+	get := func(name string, dst *uint64) {
+		if v := os.Getenv(name); v != "" {
+			if n, err := strconv.ParseUint(v, 10, 64); err == nil && n > 0 {
+				*dst = n
+			}
+		}
+	}
+	get("RENUCA_INSTR", &p.InstrPerCore)
+	get("RENUCA_WARMUP", &p.Warmup)
+	get("RENUCA_CHAR_INSTR", &p.CharInstr)
+	get("RENUCA_CHAR_WARMUP", &p.CharWarmup)
+	get("RENUCA_SEED", &p.Seed)
+	return p
+}
+
+// Variant is one system configuration of Table III's rows.
+type Variant struct {
+	Key   string
+	Label string
+	Mod   func(*core.Options)
+}
+
+// Variants returns the paper's four configurations: the Table I baseline
+// ("Actual Results") and the three Section V-C sensitivity studies.
+func Variants() []Variant {
+	return []Variant{
+		{Key: "actual", Label: "Actual Results", Mod: func(*core.Options) {}},
+		{Key: "l2-128", Label: "L2-128KB", Mod: func(o *core.Options) { o.L2Bytes = 128 << 10 }},
+		{Key: "l3-1m", Label: "L3-1MB", Mod: func(o *core.Options) { o.L3BankBytes = 1 << 20 }},
+		{Key: "rob-168", Label: "ROB-168", Mod: func(o *core.Options) { o.ROBEntries = 168 }},
+	}
+}
+
+// VariantByKey looks up a variant.
+func VariantByKey(key string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.Key == key {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("experiments: unknown variant %q", key)
+}
+
+// Runner executes experiments with memoisation. Not safe for concurrent
+// use.
+type Runner struct {
+	P Params
+	// Log, when non-nil, receives progress lines (suites take tens of
+	// seconds; the harness reports what it is doing).
+	Log func(format string, args ...any)
+
+	table2 []Table2Row
+	suites map[string]map[string]core.SuiteReport // variant key -> policy -> suite
+	sweep  []ThresholdPoint
+}
+
+// NewRunner builds a Runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	return &Runner{P: p, suites: make(map[string]map[string]core.SuiteReport)}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+	}
+}
+
+// workloads returns the standard WL1..WL10.
+func (r *Runner) workloads() []workload.Workload { return core.StandardWorkloads() }
+
+// suiteSet runs (or returns the memoised) five-policy suite for a variant.
+func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
+	if got, ok := r.suites[v.Key]; ok {
+		return got, nil
+	}
+	set := make(map[string]core.SuiteReport)
+	for _, p := range core.Policies() {
+		o := core.DefaultOptions(p)
+		o.InstrPerCore = r.P.InstrPerCore
+		o.Warmup = r.P.Warmup
+		o.Seed = r.P.Seed
+		v.Mod(&o)
+		r.logf("suite %-7s policy %-8s (10 workloads x %d instr/core)", v.Key, p, o.InstrPerCore)
+		sr, err := core.RunSuite(o, r.workloads())
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Key, err)
+		}
+		set[p.String()] = sr
+	}
+	r.suites[v.Key] = set
+	return set, nil
+}

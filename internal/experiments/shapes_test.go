@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPaperShapesOnWL1 is the end-to-end regression guard for the
+// qualitative results DESIGN.md §6 promises, checked on one workload at a
+// moderate window (a few seconds of wall clock; skipped under -short).
+func TestPaperShapesOnWL1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy end-to-end comparison")
+	}
+	wl := core.StandardWorkloads()[0]
+	run := func(p core.Policy) core.Report {
+		o := core.DefaultOptions(p)
+		o.InstrPerCore = 150_000
+		o.Warmup = 50_000
+		o.Apps = wl.Apps
+		rep, err := core.Run(o)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		return rep
+	}
+	naive := run(core.Naive)
+	snuca := run(core.SNUCA)
+	rnuca := run(core.RNUCA)
+	private := run(core.Private)
+	renuca := run(core.ReNUCA)
+
+	// IPC shape: the locality policies beat S-NUCA; the oracle pays for
+	// its directory; Re-NUCA lands near R-NUCA.
+	if !(rnuca.MeanIPC > snuca.MeanIPC) {
+		t.Errorf("R-NUCA IPC %.3f should beat S-NUCA %.3f", rnuca.MeanIPC, snuca.MeanIPC)
+	}
+	if !(private.MeanIPC > snuca.MeanIPC) {
+		t.Errorf("Private IPC %.3f should beat S-NUCA %.3f", private.MeanIPC, snuca.MeanIPC)
+	}
+	if !(naive.MeanIPC < snuca.MeanIPC) {
+		t.Errorf("Naive IPC %.3f should trail S-NUCA %.3f (directory cost)", naive.MeanIPC, snuca.MeanIPC)
+	}
+	if d := (rnuca.MeanIPC - renuca.MeanIPC) / rnuca.MeanIPC; d > 0.05 {
+		t.Errorf("Re-NUCA gives up %.1f%% IPC vs R-NUCA; paper: almost none", 100*d)
+	}
+
+	// Wear shape: write imbalance Private >> R-NUCA > Re-NUCA >= S-NUCA ~ Naive.
+	if !(private.WriteImbalance > rnuca.WriteImbalance) {
+		t.Errorf("imbalance: Private %.2f should exceed R-NUCA %.2f",
+			private.WriteImbalance, rnuca.WriteImbalance)
+	}
+	if !(rnuca.WriteImbalance > renuca.WriteImbalance) {
+		t.Errorf("imbalance: R-NUCA %.2f should exceed Re-NUCA %.2f (the paper's point)",
+			rnuca.WriteImbalance, renuca.WriteImbalance)
+	}
+	if !(renuca.WriteImbalance > snuca.WriteImbalance) {
+		t.Errorf("imbalance: Re-NUCA %.2f should still exceed S-NUCA %.2f (critical lines stay local)",
+			renuca.WriteImbalance, snuca.WriteImbalance)
+	}
+	if naive.WriteImbalance > 1.01 {
+		t.Errorf("Naive imbalance %.3f, want ~1 (perfect leveling)", naive.WriteImbalance)
+	}
+
+	// Lifetime shape (the headline): Re-NUCA's worst bank outlives
+	// R-NUCA's; the oracle and S-NUCA outlive both.
+	if !(renuca.MinLifetime > rnuca.MinLifetime) {
+		t.Errorf("min lifetime: Re-NUCA %.2f should beat R-NUCA %.2f (paper: +42%%)",
+			renuca.MinLifetime, rnuca.MinLifetime)
+	}
+	if !(snuca.MinLifetime > rnuca.MinLifetime) {
+		t.Errorf("min lifetime: S-NUCA %.2f should beat R-NUCA %.2f",
+			snuca.MinLifetime, rnuca.MinLifetime)
+	}
+	if !(rnuca.MinLifetime > private.MinLifetime) {
+		t.Errorf("min lifetime: R-NUCA %.2f should beat Private %.2f",
+			rnuca.MinLifetime, private.MinLifetime)
+	}
+}

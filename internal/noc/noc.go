@@ -1,0 +1,204 @@
+// Package noc models the switched on-chip network connecting cores and LLC
+// banks: a Width x Height mesh with XY (dimension-ordered) routing, a fixed
+// per-hop latency, and per-directed-link serialisation modelled with
+// next-free timestamps. The paper's configuration (Table I) is a 4x4 mesh
+// with one core and one 2MB ReRAM bank per tile.
+package noc
+
+import "fmt"
+
+// Direction indexes the four outgoing links of a router.
+type Direction uint8
+
+const (
+	North Direction = iota
+	East
+	South
+	West
+	numDirs
+)
+
+// Config parameterises the mesh.
+type Config struct {
+	Width, Height int
+	// HopLatency is the router+link traversal time in cycles per hop.
+	HopLatency uint32
+	// CtrlOccupancy and DataOccupancy are the cycles a link stays busy when
+	// a control message (address/request) or a data message (a 64B cache
+	// line, serialised into flits) passes over it.
+	CtrlOccupancy uint32
+	DataOccupancy uint32
+	// ContentionWindow bounds how far ahead a link reservation can stall an
+	// earlier message. The link model keeps a single next-free timestamp;
+	// walks reserve links at their actual (possibly future) traversal
+	// times, so without a window a message would queue behind a
+	// reservation hundreds of cycles ahead even though the link is idle in
+	// between. Reservations further than this window ahead are treated as
+	// leaving an idle gap the message slips through.
+	ContentionWindow uint32
+}
+
+// DefaultConfig is the paper's 4x4 mesh with 2-cycle hops and 64B lines
+// serialised over 16B links.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, HopLatency: 2, CtrlOccupancy: 1, DataOccupancy: 4, ContentionWindow: 16}
+}
+
+// Stats accumulates traffic counters.
+type Stats struct {
+	Messages  uint64
+	TotalHops uint64
+	// StallCycles accumulates time messages spent waiting for busy links.
+	StallCycles uint64
+}
+
+// Mesh is the network. Not safe for concurrent use.
+type Mesh struct {
+	cfg      Config
+	tiles    int
+	linkFree []uint64 // [tile*numDirs + dir] -> cycle the link is next free
+	stats    Stats
+}
+
+// New validates cfg and builds the mesh.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: non-positive mesh dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.HopLatency == 0 {
+		return nil, fmt.Errorf("noc: zero hop latency")
+	}
+	if cfg.CtrlOccupancy == 0 || cfg.DataOccupancy == 0 {
+		return nil, fmt.Errorf("noc: zero link occupancy")
+	}
+	if cfg.ContentionWindow == 0 {
+		return nil, fmt.Errorf("noc: zero contention window")
+	}
+	t := cfg.Width * cfg.Height
+	return &Mesh{cfg: cfg, tiles: t, linkFree: make([]uint64, t*int(numDirs))}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Mesh {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the construction parameters.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return m.tiles }
+
+// Stats returns a copy of the counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters.
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+// coord splits a tile id into (x, y).
+func (m *Mesh) coord(tile int) (x, y int) {
+	return tile % m.cfg.Width, tile / m.cfg.Width
+}
+
+// Hops returns the Manhattan distance between two tiles.
+func (m *Mesh) Hops(from, to int) int {
+	fx, fy := m.coord(from)
+	tx, ty := m.coord(to)
+	return abs(fx-tx) + abs(fy-ty)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Traverse routes one message from tile 'from' to tile 'to', departing no
+// earlier than 'start', occupying each link for 'occupancy' cycles, and
+// returns the arrival cycle at the destination. Routing is XY: fully along
+// the X dimension first, then Y, which is deadlock-free on a mesh. A
+// same-tile message arrives immediately (local bank access).
+func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
+	if from < 0 || from >= m.tiles || to < 0 || to >= m.tiles {
+		panic(fmt.Sprintf("noc: tile out of range: %d -> %d (tiles=%d)", from, to, m.tiles))
+	}
+	if from == to {
+		return start
+	}
+	m.stats.Messages++
+	now := start
+	x, y := m.coord(from)
+	tx, ty := m.coord(to)
+	for x != tx || y != ty {
+		var dir Direction
+		switch {
+		case x < tx:
+			dir = East
+			x++
+		case x > tx:
+			dir = West
+			x--
+		case y < ty:
+			dir = South
+			y++
+		default:
+			dir = North
+			y--
+		}
+		// The link we just decided to take leaves the router at the tile we
+		// were at before stepping; recompute that tile id.
+		prev := tileAt(x, y, dir, m.cfg.Width)
+		li := prev*int(numDirs) + int(dir)
+		depart := now
+		if free := m.linkFree[li]; free > depart {
+			if free-depart <= uint64(m.cfg.ContentionWindow) {
+				m.stats.StallCycles += free - depart
+				depart = free
+				m.linkFree[li] = depart + uint64(occupancy)
+			}
+			// Otherwise the reservation is far ahead: the message uses the
+			// idle gap before it, leaving the future reservation in place.
+		} else {
+			m.linkFree[li] = depart + uint64(occupancy)
+		}
+		now = depart + uint64(m.cfg.HopLatency)
+		m.stats.TotalHops++
+	}
+	return now
+}
+
+// tileAt recovers the tile a message departed from, given the tile it
+// stepped to (x,y) and the direction it moved.
+func tileAt(x, y int, dir Direction, width int) int {
+	switch dir {
+	case East:
+		return y*width + (x - 1)
+	case West:
+		return y*width + (x + 1)
+	case South:
+		return (y-1)*width + x
+	default: // North
+		return (y+1)*width + x
+	}
+}
+
+// CtrlTraverse is Traverse with the control-message occupancy.
+func (m *Mesh) CtrlTraverse(from, to int, start uint64) uint64 {
+	return m.Traverse(from, to, start, m.cfg.CtrlOccupancy)
+}
+
+// DataTraverse is Traverse with the data-message occupancy.
+func (m *Mesh) DataTraverse(from, to int, start uint64) uint64 {
+	return m.Traverse(from, to, start, m.cfg.DataOccupancy)
+}
+
+// MinLatency returns the contention-free latency between two tiles for
+// planning purposes (hops x hop latency).
+func (m *Mesh) MinLatency(from, to int) uint64 {
+	return uint64(m.Hops(from, to)) * uint64(m.cfg.HopLatency)
+}

@@ -1,0 +1,119 @@
+// Package nuca implements the last-level-cache organisations the paper
+// studies: S-NUCA, R-NUCA, per-core Private banks, the infeasible "Naive"
+// perfect wear-leveling oracle, and the paper's contribution Re-NUCA — a
+// hybrid that places performance-critical lines with R-NUCA (close to the
+// requesting core) and non-critical lines with S-NUCA (striped over all
+// banks to level wear). The package owns the bank array, the placement and
+// probe logic, and the per-frame ReRAM wear accounting; the simulator
+// composes timing (NoC traversal, bank latency, DRAM) around it.
+package nuca
+
+import "fmt"
+
+// Policy identifies a NUCA scheme.
+type Policy uint8
+
+const (
+	// SNUCA stripes lines over all banks by address bits (Section II-B).
+	SNUCA Policy = iota
+	// RNUCA confines each core's lines to a fixed cluster of nearby banks
+	// using rotational interleaving (Hardavellas et al., Section II-B).
+	RNUCA
+	// PrivateLLC gives each core its own bank; no sharing, no on-chip
+	// traffic for hits, worst wear imbalance (Section III).
+	PrivateLLC
+	// NaiveWL is the perfect wear-leveling oracle: every new line goes to
+	// the bank with the fewest writes so far, located through a directory
+	// (Section III-A). Infeasible in hardware; lifetime upper bound.
+	NaiveWL
+	// ReNUCA is the paper's hybrid (Section IV).
+	ReNUCA
+)
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case SNUCA:
+		return "S-NUCA"
+	case RNUCA:
+		return "R-NUCA"
+	case PrivateLLC:
+		return "Private"
+	case NaiveWL:
+		return "Naive"
+	case ReNUCA:
+		return "Re-NUCA"
+	default:
+		return "?"
+	}
+}
+
+// Policies lists all schemes in the paper's presentation order.
+func Policies() []Policy {
+	return []Policy{NaiveWL, SNUCA, ReNUCA, RNUCA, PrivateLLC}
+}
+
+// SNUCABank returns the static-NUCA bank for a line: the low-order bits of
+// the line address (Section II-B: "mapping ... is determined using the
+// lower bits of the block's address").
+func SNUCABank(addr uint64, lineBytes uint64, numBanks int) int {
+	return int((addr / lineBytes) & uint64(numBanks-1))
+}
+
+// RNUCAMap implements R-NUCA's fixed-size clusters with rotational
+// interleaving on a mesh. Each core's cluster is the 2x2 quadrant of banks
+// around it (the shaded region of the paper's Figure 4a); the core's
+// rotational ID (RID) is its position within the quadrant, and the
+// destination bank is cluster[(Addr + RID + 1) & (n-1)] with n = 4, the
+// mapping function quoted in Section II-B.
+type RNUCAMap struct {
+	clusterSize int
+	lineBytes   uint64
+	clusters    [][]int // per core: the n banks of its cluster
+	rid         []int   // per core: rotational ID
+}
+
+// NewRNUCAMap builds the cluster map for a width x height mesh with one
+// core and one bank per tile. Width and height must be even so 2x2
+// quadrants tile the mesh.
+func NewRNUCAMap(width, height int, lineBytes uint64) (*RNUCAMap, error) {
+	if width <= 0 || height <= 0 || width%2 != 0 || height%2 != 0 {
+		return nil, fmt.Errorf("nuca: mesh %dx%d cannot be tiled by 2x2 clusters", width, height)
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("nuca: line size %d not a power of two", lineBytes)
+	}
+	n := width * height
+	m := &RNUCAMap{
+		clusterSize: 4,
+		lineBytes:   lineBytes,
+		clusters:    make([][]int, n),
+		rid:         make([]int, n),
+	}
+	for core := 0; core < n; core++ {
+		x, y := core%width, core/width
+		qx, qy := x&^1, y&^1
+		cluster := []int{
+			qy*width + qx,
+			qy*width + qx + 1,
+			(qy+1)*width + qx,
+			(qy+1)*width + qx + 1,
+		}
+		m.clusters[core] = cluster
+		m.rid[core] = (y-qy)*2 + (x - qx) // position within the quadrant
+	}
+	return m, nil
+}
+
+// Bank returns the R-NUCA destination bank for addr requested by core.
+func (m *RNUCAMap) Bank(addr uint64, core int) int {
+	la := addr / m.lineBytes
+	idx := (la + uint64(m.rid[core]) + 1) & uint64(m.clusterSize-1)
+	return m.clusters[core][idx]
+}
+
+// Cluster returns the banks of a core's cluster (diagnostics/tests).
+func (m *RNUCAMap) Cluster(core int) []int { return m.clusters[core] }
+
+// RID returns a core's rotational ID.
+func (m *RNUCAMap) RID(core int) int { return m.rid[core] }

@@ -1,0 +1,154 @@
+package nuca
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		SNUCA: "S-NUCA", RNUCA: "R-NUCA", PrivateLLC: "Private",
+		NaiveWL: "Naive", ReNUCA: "Re-NUCA", Policy(99): "?",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if len(Policies()) != 5 {
+		t.Errorf("Policies() should list all 5 schemes")
+	}
+}
+
+func TestSNUCABankStripesAllBanks(t *testing.T) {
+	seen := map[int]bool{}
+	for la := uint64(0); la < 64; la++ {
+		b := SNUCABank(la*64, 64, 16)
+		if b != int(la%16) {
+			t.Fatalf("SNUCABank(line %d) = %d, want %d", la, b, la%16)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("S-NUCA covered %d banks, want 16", len(seen))
+	}
+	// Same line, any offset: same bank.
+	if SNUCABank(0x1000, 64, 16) != SNUCABank(0x103F, 64, 16) {
+		t.Error("offsets within a line must map to the same bank")
+	}
+}
+
+func TestNewRNUCAMapRejectsOddMesh(t *testing.T) {
+	if _, err := NewRNUCAMap(3, 4, 64); err == nil {
+		t.Error("odd width must be rejected")
+	}
+	if _, err := NewRNUCAMap(4, 0, 64); err == nil {
+		t.Error("zero height must be rejected")
+	}
+	if _, err := NewRNUCAMap(4, 4, 60); err == nil {
+		t.Error("non-power-of-two line size must be rejected")
+	}
+}
+
+func TestRNUCAClusterIsLocalQuadrant(t *testing.T) {
+	m, err := NewRNUCAMap(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 5 is at (1,1): quadrant (0,0)..(1,1) = banks {0,1,4,5}.
+	want := []int{0, 1, 4, 5}
+	got := m.Cluster(5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster(5) = %v, want %v", got, want)
+		}
+	}
+	// Core 10 is at (2,2): quadrant banks {10,11,14,15}.
+	if c := m.Cluster(10); c[0] != 10 || c[3] != 15 {
+		t.Errorf("cluster(10) = %v", c)
+	}
+	// RIDs within a quadrant are distinct (rotational interleaving).
+	rids := map[int]bool{}
+	for _, core := range []int{0, 1, 4, 5} {
+		rids[m.RID(core)] = true
+	}
+	if len(rids) != 4 {
+		t.Errorf("quadrant RIDs not distinct: %v", rids)
+	}
+}
+
+func TestRNUCABankStaysInCluster(t *testing.T) {
+	m, _ := NewRNUCAMap(4, 4, 64)
+	for core := 0; core < 16; core++ {
+		cluster := map[int]bool{}
+		for _, b := range m.Cluster(core) {
+			cluster[b] = true
+		}
+		for la := uint64(0); la < 1000; la++ {
+			b := m.Bank(la*64, core)
+			if !cluster[b] {
+				t.Fatalf("core %d line %d mapped to bank %d outside cluster", core, la, b)
+			}
+		}
+	}
+}
+
+func TestRNUCAMappingFunctionMatchesPaper(t *testing.T) {
+	// DestinationBank = (Addr + RID + 1) & (n-1), indexing the cluster.
+	m, _ := NewRNUCAMap(4, 4, 64)
+	core := 6 // (2,1): quadrant (2,0); RID = 1*2+0 = 2
+	if m.RID(core) != 2 {
+		t.Fatalf("RID(6) = %d, want 2", m.RID(core))
+	}
+	for la := uint64(0); la < 8; la++ {
+		want := m.Cluster(core)[(la+2+1)&3]
+		if got := m.Bank(la*64, core); got != want {
+			t.Errorf("line %d: bank %d, want %d", la, got, want)
+		}
+	}
+}
+
+func TestRNUCABankDistributesOverCluster(t *testing.T) {
+	m, _ := NewRNUCAMap(4, 4, 64)
+	counts := map[int]int{}
+	for la := uint64(0); la < 4000; la++ {
+		counts[m.Bank(la*64, 0)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("mapping used %d banks, want 4", len(counts))
+	}
+	for b, n := range counts {
+		if n != 1000 {
+			t.Errorf("bank %d got %d lines, want exactly 1000 (line interleaving)", b, n)
+		}
+	}
+}
+
+// Property: each core's cluster banks are within 2 mesh hops (the quadrant
+// diameter), preserving R-NUCA's "near the core" property.
+func TestClusterProximityProperty(t *testing.T) {
+	m, _ := NewRNUCAMap(4, 4, 64)
+	hops := func(a, b int) int {
+		ax, ay, bx, by := a%4, a/4, b%4, b/4
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	f := func(core8 uint8) bool {
+		core := int(core8 % 16)
+		for _, b := range m.Cluster(core) {
+			if hops(core, b) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/nuca"
+	"repro/internal/stats"
+)
+
+// ResetStats zeroes every statistic in the system — cores, caches, TLBs,
+// predictor quality counters, LLC aggregates, wear, NoC, DRAM, directory —
+// while preserving the warmed microarchitectural state (cache contents,
+// learned predictor tables, TLB entries). Call it at the warmup/measure
+// boundary.
+func (s *System) ResetStats() {
+	for i := range s.cores {
+		s.cores[i].ResetStats()
+		s.l1[i].ResetStats()
+		s.l2[i].ResetStats()
+		s.tlbs[i].ResetStats()
+		s.counters[i] = CoreCounters{}
+		s.frozen[i] = CoreCounters{}
+		s.isFrozen[i] = false
+		s.doneAt[i] = 0
+	}
+	s.llc.ResetStats()
+	s.mesh.ResetStats()
+	s.mem.ResetStats()
+	s.dir.ResetStats()
+	s.measureStart = s.cycle
+}
+
+// Run executes until every core has committed instrPerCore further
+// instructions. A core halts once it crosses its target: its statistics
+// freeze and it stops generating traffic. (Letting finished cores run on
+// would keep late-window contention marginally more realistic for the
+// slowest core, but multiplies wall-clock by the IPC spread; the finished
+// cores are the low-write ones, so wear distributions are essentially
+// unaffected.) It returns an error if the safety cycle bound is exceeded.
+func (s *System) Run(instrPerCore uint64) error {
+	if instrPerCore == 0 {
+		return nil
+	}
+	for i := range s.cores {
+		s.cores[i].SetTarget(instrPerCore)
+		s.isFrozen[i] = false
+	}
+	nextWake := make([]uint64, len(s.cores))
+	for i := range nextWake {
+		nextWake[i] = s.cycle
+	}
+	const halted = ^uint64(0)
+	remaining := len(s.cores)
+	start := s.cycle
+	for remaining > 0 {
+		// Advance to the earliest wake among running cores.
+		min := halted
+		for _, w := range nextWake {
+			if w < min {
+				min = w
+			}
+		}
+		if min > s.cycle {
+			s.cycle = min
+		}
+		for i := range s.cores {
+			if nextWake[i] > s.cycle {
+				continue
+			}
+			nextWake[i] = s.cores[i].Tick(s.cycle)
+			if !s.isFrozen[i] {
+				if done, at := s.cores[i].Done(); done {
+					s.isFrozen[i] = true
+					s.frozen[i] = s.counters[i]
+					s.doneAt[i] = at
+					nextWake[i] = halted
+					remaining--
+				}
+			}
+		}
+		if s.cycle-start > s.cfg.MaxRunCycles {
+			return fmt.Errorf("sim: exceeded %d cycles without reaching %d instructions per core",
+				s.cfg.MaxRunCycles, instrPerCore)
+		}
+	}
+	return nil
+}
+
+// Result summarises one measured run.
+type Result struct {
+	Policy         string
+	InstrPerCore   uint64
+	MeasuredCycles uint64 // slowest core's measurement window
+
+	IPC     []float64 // per core: instrPerCore / core's window
+	MeanIPC float64
+
+	// BankLifetimes is the capacity lifetime (years) per bank: endurance
+	// divided by the bank's mean per-frame write rate. This matches the
+	// paper's accounting (their per-policy numbers reproduce from bank
+	// write totals, assuming intra-bank leveling); the wear-leveling
+	// policies under study redistribute writes BETWEEN banks, which is
+	// exactly what this metric responds to.
+	BankLifetimes []float64
+	// FirstFailureLifetimes is the pessimistic per-bank view (hottest
+	// frame); the intra-bank wear-leveling extension improves it.
+	FirstFailureLifetimes []float64
+	MinLifetime           float64 // min over banks — "raw minimum lifetime"
+	WriteImbalance        float64
+
+	WPKI []float64 // per core: L2->LLC write-backs per kilo-instruction
+	MPKI []float64 // per core: LLC misses per kilo-instruction
+
+	NonCriticalLoadFrac []float64 // per core, Figure 5's metric
+	PredictorAccuracy   []float64 // per core
+
+	LLC     nuca.Stats
+	PerCore []CoreCounters
+
+	// Energy carries the activity totals for the energy accountant
+	// (package energy): technology comparisons are post-processing.
+	Energy energy.Counts
+}
+
+// Snapshot extracts the Result for the most recent Run(instrPerCore).
+func (s *System) Snapshot(instrPerCore uint64) Result {
+	r := Result{
+		Policy:       s.cfg.LLC.Policy.String(),
+		InstrPerCore: instrPerCore,
+		LLC:          s.llc.Stats(),
+	}
+	var lastDone uint64
+	for i := range s.cores {
+		window := s.doneAt[i] - s.measureStart
+		if s.doneAt[i] == 0 || window == 0 {
+			window = 1 // core never armed; avoid division by zero
+		}
+		if s.doneAt[i] > lastDone {
+			lastDone = s.doneAt[i]
+		}
+		r.IPC = append(r.IPC, float64(instrPerCore)/float64(window))
+		ctr := s.Counters(i)
+		r.PerCore = append(r.PerCore, ctr)
+		ki := float64(instrPerCore) / 1000
+		r.WPKI = append(r.WPKI, float64(ctr.Writebacks)/ki)
+		r.MPKI = append(r.MPKI, float64(ctr.LLCMisses)/ki)
+		cs := s.cores[i].Stats()
+		r.NonCriticalLoadFrac = append(r.NonCriticalLoadFrac, cs.NonCriticalLoadFraction())
+		if cpt := s.cores[i].Predictor(); cpt != nil {
+			r.PredictorAccuracy = append(r.PredictorAccuracy, cpt.Stats().Accuracy())
+		} else {
+			r.PredictorAccuracy = append(r.PredictorAccuracy, 0)
+		}
+	}
+	r.MeanIPC = stats.Mean(r.IPC)
+	r.MeasuredCycles = lastDone - s.measureStart
+	if r.MeasuredCycles == 0 {
+		r.MeasuredCycles = 1
+	}
+	var llcReads uint64
+	for b := 0; b < s.cfg.LLC.NumBanks; b++ {
+		llcReads += s.llc.BankStats(b).Accesses()
+	}
+	ds, ns := s.mem.Stats(), s.mesh.Stats()
+	r.Energy = energy.Counts{
+		LLCReads:   llcReads,
+		LLCWrites:  s.wear.TotalWrites(),
+		DRAMReads:  ds.Reads,
+		DRAMWrites: ds.Writes,
+		NoCHops:    ns.TotalHops,
+		Banks:      s.cfg.LLC.NumBanks,
+		Seconds:    float64(r.MeasuredCycles) / s.cfg.ClockHz,
+	}
+	r.BankLifetimes = s.wear.CapacityLifetimes(r.MeasuredCycles)
+	r.FirstFailureLifetimes = s.wear.FirstFailureLifetimes(r.MeasuredCycles)
+	r.MinLifetime = stats.Min(r.BankLifetimes)
+	r.WriteImbalance = s.wear.WriteImbalance()
+	return r
+}
+
+// RunMeasured is the standard experiment shape: warm up for warmup
+// instructions per core, reset statistics, run the measured window, and
+// return the Result.
+func (s *System) RunMeasured(warmup, measure uint64) (Result, error) {
+	if err := s.Run(warmup); err != nil {
+		return Result{}, fmt.Errorf("warmup: %w", err)
+	}
+	s.ResetStats()
+	if err := s.Run(measure); err != nil {
+		return Result{}, fmt.Errorf("measure: %w", err)
+	}
+	return s.Snapshot(measure), nil
+}

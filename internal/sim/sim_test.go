@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/nuca"
+	"repro/internal/trace"
+)
+
+// testApps returns n application profiles cycling through a cheap mix.
+func testApps(n int) []trace.Profile {
+	names := []string{"hmmer", "mcf", "streamL", "namd"}
+	var out []trace.Profile
+	for i := 0; i < n; i++ {
+		out = append(out, trace.MustProfile(names[i%len(names)]))
+	}
+	return out
+}
+
+func smallSystem(t *testing.T, policy nuca.Policy) *System {
+	t.Helper()
+	cfg := DefaultConfig(policy)
+	s, err := New(cfg, testApps(cfg.Cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig(nuca.SNUCA)
+	if _, err := New(cfg, testApps(3)); err == nil {
+		t.Error("profile/core count mismatch must be rejected")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := New(bad, nil); err == nil {
+		t.Error("zero cores must be rejected")
+	}
+	bad = cfg
+	bad.ClockHz = 0
+	if _, err := New(bad, testApps(16)); err == nil {
+		t.Error("zero clock must be rejected")
+	}
+}
+
+func TestCharacterisationRunCompletes(t *testing.T) {
+	cfg := CharacterisationConfig()
+	s, err := New(cfg, []trace.Profile{trace.MustProfile("hmmer")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunMeasured(2000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC[0] <= 0 || res.IPC[0] > 4 {
+		t.Errorf("IPC %v out of (0,4]", res.IPC[0])
+	}
+	if res.MeasuredCycles == 0 {
+		t.Error("no cycles measured")
+	}
+	c := s.Counters(0)
+	if c.Loads == 0 || c.Stores == 0 {
+		t.Errorf("no memory traffic: %+v", c)
+	}
+}
+
+func TestMemoryBoundAppSlowerThanComputeBound(t *testing.T) {
+	run := func(app string) float64 {
+		cfg := CharacterisationConfig()
+		s := MustNew(cfg, []trace.Profile{trace.MustProfile(app)})
+		res, err := s.RunMeasured(2000, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC[0]
+	}
+	mcf, hmmer := run("mcf"), run("hmmer")
+	if mcf >= hmmer {
+		t.Errorf("mcf IPC %v should be well below hmmer IPC %v", mcf, hmmer)
+	}
+	if mcf > 0.5 {
+		t.Errorf("mcf IPC %v, want deeply memory-bound (<0.5)", mcf)
+	}
+	if hmmer < 1.0 {
+		t.Errorf("hmmer IPC %v, want compute-bound (>1)", hmmer)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := CharacterisationConfig()
+		s := MustNew(cfg, []trace.Profile{trace.MustProfile("soplex")})
+		res, err := s.RunMeasured(1000, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeasuredCycles != b.MeasuredCycles || a.IPC[0] != b.IPC[0] {
+		t.Errorf("non-deterministic: %v/%v vs %v/%v cycles/IPC",
+			a.MeasuredCycles, a.IPC[0], b.MeasuredCycles, b.IPC[0])
+	}
+	if a.PerCore[0] != b.PerCore[0] {
+		t.Errorf("non-deterministic counters: %+v vs %+v", a.PerCore[0], b.PerCore[0])
+	}
+}
+
+func TestAllPoliciesRunSmallWindow(t *testing.T) {
+	for _, p := range nuca.Policies() {
+		s := smallSystem(t, p)
+		res, err := s.RunMeasured(500, 2000)
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if res.Policy != p.String() {
+			t.Errorf("result policy %q, want %q", res.Policy, p)
+		}
+		for i, ipc := range res.IPC {
+			if ipc <= 0 || ipc > 4 {
+				t.Errorf("policy %v core %d IPC %v out of range", p, i, ipc)
+			}
+		}
+		if len(res.BankLifetimes) != 16 {
+			t.Errorf("policy %v: %d bank lifetimes", p, len(res.BankLifetimes))
+		}
+		for b, l := range res.BankLifetimes {
+			if l <= 0 || l > 50 {
+				t.Errorf("policy %v bank %d lifetime %v out of (0,50]", p, b, l)
+			}
+		}
+		if res.MinLifetime <= 0 {
+			t.Errorf("policy %v min lifetime %v", p, res.MinLifetime)
+		}
+	}
+}
+
+func TestLLCWritesAccountedToWear(t *testing.T) {
+	s := smallSystem(t, nuca.SNUCA)
+	if _, err := s.RunMeasured(500, 3000); err != nil {
+		t.Fatal(err)
+	}
+	llcStats := s.LLC().Stats()
+	wearWrites := s.LLC().Wear().TotalWrites()
+	expected := llcStats.Fills + llcStats.WritebackHits
+	if wearWrites != expected {
+		t.Errorf("wear writes %d != fills %d + write-back hits %d",
+			wearWrites, llcStats.Fills, llcStats.WritebackHits)
+	}
+	if wearWrites == 0 {
+		t.Error("no LLC writes recorded at all")
+	}
+}
+
+func TestNaivePerfectlyLevels(t *testing.T) {
+	s := smallSystem(t, nuca.NaiveWL)
+	res, err := s.RunMeasured(500, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteImbalance > 1.05 {
+		t.Errorf("Naive write imbalance %v, want ~1 (perfect leveling)", res.WriteImbalance)
+	}
+}
+
+func TestPrivateMoreImbalancedThanSNUCA(t *testing.T) {
+	imb := func(p nuca.Policy) float64 {
+		s := smallSystem(t, p)
+		res, err := s.RunMeasured(500, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteImbalance
+	}
+	sn, pr := imb(nuca.SNUCA), imb(nuca.PrivateLLC)
+	if pr <= sn {
+		t.Errorf("Private imbalance %v should exceed S-NUCA %v", pr, sn)
+	}
+}
+
+func TestReNUCAMBVConsistency(t *testing.T) {
+	s := smallSystem(t, nuca.ReNUCA)
+	if _, err := s.RunMeasured(500, 4000); err != nil {
+		t.Fatal(err)
+	}
+	llcStats := s.LLC().Stats()
+	if llcStats.Fills == 0 {
+		t.Fatal("no LLC fills")
+	}
+	// The MBV must route nearly all hits to the right bank on the first
+	// probe: fallback hits only happen when a TLB eviction lost mapping
+	// bits, which is rare. (Fallback *probes* are common by design — every
+	// true miss checks both candidate banks before going to memory.)
+	hits := llcStats.ReadHits + llcStats.WritebackHits
+	if hits > 0 && llcStats.FallbackHits > hits/5 {
+		t.Errorf("fallback hits %d out of %d hits: MBV is not doing its job",
+			llcStats.FallbackHits, hits)
+	}
+}
+
+func TestCountersFreezeAtTarget(t *testing.T) {
+	s := smallSystem(t, nuca.SNUCA)
+	if _, err := s.RunMeasured(200, 2000); err != nil {
+		t.Fatal(err)
+	}
+	// After the run, counters must equal the frozen snapshots.
+	for i := 0; i < s.Config().Cores; i++ {
+		if !s.isFrozen[i] {
+			t.Fatalf("core %d never froze", i)
+		}
+	}
+}
+
+func TestRunZeroInstrIsNoop(t *testing.T) {
+	s := smallSystem(t, nuca.SNUCA)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle() != 0 {
+		t.Error("zero-instruction run advanced time")
+	}
+}
+
+func TestInclusionInvariant(t *testing.T) {
+	// Sample addresses from a core's generator regions: any line in L2 must
+	// be in the LLC (inclusive hierarchy via shootdowns).
+	s := smallSystem(t, nuca.SNUCA)
+	if _, err := s.RunMeasured(500, 3000); err != nil {
+		t.Fatal(err)
+	}
+	checked, violations := 0, 0
+	for core := 0; core < s.Config().Cores; core++ {
+		for la := uint64(0); la < 1<<14; la += 64 {
+			pa := paddr(core, (1<<30)+la)
+			if s.l2[core].Peek(pa) {
+				checked++
+				if _, ok := s.LLC().Contains(pa); !ok {
+					violations++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no sampled lines resident in L2")
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d L2-resident lines missing from LLC (inclusion broken)", violations, checked)
+	}
+}

@@ -1,0 +1,342 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// RegionKind describes the access pattern of one memory region of a
+// synthetic application.
+type RegionKind uint8
+
+const (
+	// Hot is a small region (fits comfortably in L1) accessed uniformly at
+	// random; it supplies the cache-friendly bulk of the access stream.
+	Hot RegionKind = iota
+	// Warm is a medium region sized to exceed the private L2 but fit in the
+	// application's LLC share; it is walked cyclically at line stride so it
+	// misses L2 and hits L3 once warmed, producing writeback traffic to L3
+	// without L3 misses (the omnetpp/xalancbmk behaviour in Table II).
+	Warm
+	// Stream is a large region walked sequentially at line stride; every
+	// access touches a new line and misses the whole hierarchy (the
+	// streamL/lbm/libquantum behaviour). Accesses are independent, so the
+	// out-of-order core can overlap them.
+	Stream
+	// Chase is a large region accessed at uniformly random line addresses
+	// with each load data-dependent on the previous Chase load (pointer
+	// chasing); misses serialise and stall the ROB head (the mcf behaviour).
+	Chase
+)
+
+// String returns the region kind name.
+func (k RegionKind) String() string {
+	switch k {
+	case Hot:
+		return "hot"
+	case Warm:
+		return "warm"
+	case Stream:
+		return "stream"
+	case Chase:
+		return "chase"
+	default:
+		return "?"
+	}
+}
+
+// RegionSpec parameterises one region of a synthetic application.
+type RegionSpec struct {
+	Kind      RegionKind
+	Weight    float64 // fraction of memory accesses directed at this region
+	SizeBytes uint64  // region footprint
+	StoreFrac float64 // probability an access dirties its line (paired RMW store)
+	// ChainFrac is the probability an access joins the region's rolling
+	// dependence chain (each chained load consumes the previous chained
+	// load's result — loop-carried pointer chasing). Chase regions use 1.
+	ChainFrac float64
+	// StrideBytes is the cyclic-walk step for Warm/Stream regions. Stream
+	// regions use 8 (word-granular array walks: eight accesses touch a 64B
+	// line before the next line faults in). This sub-line reuse is what
+	// makes streaming PCs non-critical under the paper's x% criterion —
+	// only ~1 access in 8 can possibly miss, so the PC's ROB-block rate
+	// dilutes below small thresholds. Zero defaults to one line.
+	StrideBytes uint64
+	NumPCs      int // static PCs attributed to this region's accesses
+}
+
+// PaperStats carries the per-application characterisation the paper reports
+// in Table II (single core, 256KB L2, 2MB L3): LLC writebacks and misses per
+// kilo-instruction, LLC hit rate, and single-core IPC.
+type PaperStats struct {
+	WPKI, MPKI, HitRate, IPC float64
+}
+
+// Intensity is the paper's write-intensity classification (Section V-A):
+// WPKI+MPKI > 10 is high, 1..10 is medium, < 1 is low.
+type Intensity uint8
+
+const (
+	LowIntensity Intensity = iota
+	MediumIntensity
+	HighIntensity
+)
+
+// String returns the intensity class name.
+func (i Intensity) String() string {
+	switch i {
+	case LowIntensity:
+		return "low"
+	case MediumIntensity:
+		return "medium"
+	case HighIntensity:
+		return "high"
+	default:
+		return "?"
+	}
+}
+
+// Classify applies the paper's WPKI+MPKI thresholds.
+func Classify(p PaperStats) Intensity {
+	switch sum := p.WPKI + p.MPKI; {
+	case sum > 10:
+		return HighIntensity
+	case sum >= 1:
+		return MediumIntensity
+	default:
+		return LowIntensity
+	}
+}
+
+// Profile fully describes a synthetic application.
+type Profile struct {
+	Name    string
+	MemFrac float64 // fraction of instructions that are loads/stores
+	ALUDep  float64 // fraction of ALU instructions depending on their predecessor
+	ALUPCs  int     // static PCs attributed to ALU work
+	Regions []RegionSpec
+	Paper   PaperStats // the Table II reference values this profile targets
+}
+
+// Intensity returns the paper classification for the profile.
+func (p Profile) Intensity() Intensity { return Classify(p.Paper) }
+
+// Validate checks structural invariants: weights within [0,1] summing to at
+// most 1 (the remainder is implicit Hot traffic handled by the caller),
+// positive sizes, and sane fractions.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("trace: profile with empty name")
+	}
+	if p.MemFrac < 0 || p.MemFrac > 1 {
+		return fmt.Errorf("trace: %s: MemFrac %v out of range", p.Name, p.MemFrac)
+	}
+	if p.ALUDep < 0 || p.ALUDep > 1 {
+		return fmt.Errorf("trace: %s: ALUDep %v out of range", p.Name, p.ALUDep)
+	}
+	var sum float64
+	for i, r := range p.Regions {
+		if r.Weight < 0 || r.Weight > 1 {
+			return fmt.Errorf("trace: %s: region %d weight %v out of range", p.Name, i, r.Weight)
+		}
+		if r.SizeBytes < 64 {
+			return fmt.Errorf("trace: %s: region %d size %d below one line", p.Name, i, r.SizeBytes)
+		}
+		if r.StoreFrac < 0 || r.StoreFrac > 1 {
+			return fmt.Errorf("trace: %s: region %d store fraction %v out of range", p.Name, i, r.StoreFrac)
+		}
+		if r.ChainFrac < 0 || r.ChainFrac > 1 {
+			return fmt.Errorf("trace: %s: region %d chain fraction %v out of range", p.Name, i, r.ChainFrac)
+		}
+		if r.StrideBytes != 0 && (r.StrideBytes%8 != 0 || r.StrideBytes > 64) {
+			return fmt.Errorf("trace: %s: region %d stride %d not a multiple of 8 within a line", p.Name, i, r.StrideBytes)
+		}
+		if r.NumPCs <= 0 {
+			return fmt.Errorf("trace: %s: region %d has no PCs", p.Name, i)
+		}
+		sum += r.Weight
+	}
+	if sum > 1+1e-9 {
+		return fmt.Errorf("trace: %s: region weights sum to %v > 1", p.Name, sum)
+	}
+	return nil
+}
+
+// AppGen generates the dynamic instruction stream of one synthetic
+// application. It is deterministic for a given (profile, seed) pair and
+// safe for use by exactly one core (it is not concurrency-safe; the
+// simulator owns one generator per core).
+type AppGen struct {
+	prof    Profile
+	r       rng
+	seq     uint64 // dynamic instructions produced so far
+	regions []regionState
+	cdf     []float64 // cumulative region weights over memory accesses
+
+	aluPCBase   uint64
+	memAccesses uint64
+
+	// Rolling ALU dependence chain (loop-carried scalar recurrence): each
+	// chained ALU instruction consumes the previous chain member.
+	lastALU uint64
+	hasALU  bool
+
+	// A region access selected for dirtying emits a paired store to the
+	// same line as the immediately following instruction; this is how real
+	// codes dirty lines (read-modify-write) without turning the miss
+	// stream into stores, which would break pointer-chase dependence
+	// chains and store-buffer behaviour.
+	pendingStore bool
+	pendingAddr  uint64
+	pendingPC    uint64
+}
+
+type regionState struct {
+	spec   RegionSpec
+	base   uint64
+	bytes  uint64 // region size in bytes (whole lines)
+	lines  uint64 // region size in cache lines
+	cursor uint64 // byte cursor for Warm/Stream cyclic walks
+	stride uint64
+	pcBase uint64
+
+	// Rolling dependence chain through this region's chained loads.
+	lastChain uint64
+	hasChain  bool
+}
+
+// NewAppGen builds a generator for prof. Seed selects the random sequence;
+// the same (profile, seed) always produces the same trace.
+func NewAppGen(prof Profile, seed uint64) (*AppGen, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &AppGen{
+		prof: prof,
+		r:    newRNG(seed ^ hashName(prof.Name)),
+	}
+	g.aluPCBase = hashName(prof.Name+"/alu") &^ 0x3
+	var cum float64
+	// Regions are laid out in disjoint gigabyte-aligned slices of the
+	// virtual address space so their footprints never overlap.
+	for i, spec := range prof.Regions {
+		cum += spec.Weight
+		g.cdf = append(g.cdf, cum)
+		stride := spec.StrideBytes
+		if stride == 0 {
+			stride = 64
+		}
+		lines := (spec.SizeBytes + 63) / 64
+		g.regions = append(g.regions, regionState{
+			spec:   spec,
+			base:   uint64(i+1) << 30,
+			bytes:  lines * 64,
+			lines:  lines,
+			stride: stride,
+			pcBase: hashName(fmt.Sprintf("%s/r%d", prof.Name, i)) &^ 0x3,
+		})
+	}
+	return g, nil
+}
+
+// Name implements Generator.
+func (g *AppGen) Name() string { return g.prof.Name }
+
+// Profile returns the profile the generator was built from.
+func (g *AppGen) Profile() Profile { return g.prof }
+
+// Next implements Generator.
+func (g *AppGen) Next(in *Instr) {
+	g.seq++
+	if g.pendingStore {
+		// The read-modify-write store paired with the previous access: it
+		// consumes that access's data (DepDist=1) and dirties its line.
+		g.pendingStore = false
+		g.memAccesses++
+		in.Kind = Store
+		in.Addr = g.pendingAddr
+		in.PC = g.pendingPC + 4
+		in.DepDist = 1
+		return
+	}
+	if g.r.float64() >= g.prof.MemFrac {
+		in.Kind = ALU
+		in.Addr = 0
+		in.PC = g.aluPCBase + 4*g.r.intn(uint64(g.prof.ALUPCs))
+		in.DepDist = 0
+		if g.r.float64() < g.prof.ALUDep {
+			// Join the rolling scalar recurrence: this is what bounds IPC
+			// for compute-dominated applications.
+			if g.hasALU {
+				in.DepDist = depDist(g.seq, g.lastALU)
+			}
+			g.lastALU = g.seq
+			g.hasALU = true
+		}
+		return
+	}
+	g.memAccesses++
+	// Pick a region by weight; the residue above the final CDF entry is
+	// implicit Hot-like traffic folded into region 0 (profiles built by
+	// DeriveProfile always carry an explicit Hot region first, so in
+	// practice the residue never triggers).
+	p := g.r.float64()
+	ri := len(g.regions) - 1
+	for i, c := range g.cdf {
+		if p < c {
+			ri = i
+			break
+		}
+	}
+	rs := &g.regions[ri]
+	switch rs.spec.Kind {
+	case Hot, Chase:
+		in.Addr = rs.base + g.r.intn(rs.lines)*64 + 8*g.r.intn(8)
+	case Warm, Stream:
+		in.Addr = rs.base + rs.cursor
+		rs.cursor += rs.stride
+		if rs.cursor >= rs.bytes {
+			rs.cursor = 0
+		}
+	}
+	in.Kind = Load
+	in.PC = rs.pcBase + 8*g.r.intn(uint64(rs.spec.NumPCs))
+	in.DepDist = 0
+	if rs.spec.ChainFrac > 0 && g.r.float64() < rs.spec.ChainFrac {
+		// Chain this load to the region's previous chained load: the
+		// address of each hop is only known once the previous hop's data
+		// arrives (pointer chasing).
+		if rs.hasChain {
+			in.DepDist = depDist(g.seq, rs.lastChain)
+		}
+		rs.lastChain = g.seq
+		rs.hasChain = true
+	}
+	if rs.spec.StoreFrac > 0 && g.r.float64() < rs.spec.StoreFrac {
+		g.pendingStore = true
+		g.pendingAddr = in.Addr
+		g.pendingPC = in.PC
+	}
+}
+
+// depDist encodes the program-order distance from seq back to last, capped
+// so it fits the Instr field.
+func depDist(seq, last uint64) uint32 {
+	d := seq - last
+	if d > 1<<20 {
+		d = 1 << 20
+	}
+	return uint32(d)
+}
+
+// Generated returns how many instructions have been produced.
+func (g *AppGen) Generated() uint64 { return g.seq }
+
+// MemAccesses returns how many of the produced instructions were memory ops.
+func (g *AppGen) MemAccesses() uint64 { return g.memAccesses }
+
+func hashName(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

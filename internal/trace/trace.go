@@ -1,0 +1,91 @@
+// Package trace models the instruction and memory-reference streams that
+// drive the simulator. The paper executes SPEC CPU2006 binaries under gem5;
+// we have neither the binaries nor their reference inputs, so this package
+// provides parameterised synthetic generators whose memory-stream statistics
+// (LLC writes per kilo-instruction, misses per kilo-instruction, hit rate)
+// and dependence structure (which bounds IPC and produces ROB-head stalls)
+// are calibrated against the per-application numbers the paper reports in
+// Table II. See DESIGN.md section 2 for the substitution argument.
+package trace
+
+// Kind classifies a dynamic instruction. The cycle model only distinguishes
+// memory operations from everything else; ALU stands in for all non-memory
+// work (integer, FP, branches).
+type Kind uint8
+
+const (
+	// ALU is any non-memory instruction with a single-cycle latency.
+	ALU Kind = iota
+	// Load reads one word from memory.
+	Load
+	// Store writes one word to memory (write-allocate, write-back).
+	Store
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "?"
+	}
+}
+
+// Instr is one dynamic instruction. Addr is a byte-granularity virtual
+// address (only meaningful for Load/Store). DepDist encodes the data
+// dependence the out-of-order core must honour: 0 means the instruction is
+// independent; k>0 means it consumes the result of the instruction issued k
+// positions earlier in program order (the classic pointer-chase chain is
+// DepDist = distance to the previous chained load).
+type Instr struct {
+	PC      uint64
+	Addr    uint64
+	DepDist uint32
+	Kind    Kind
+}
+
+// Generator produces an application's dynamic instruction stream. Next fills
+// the provided Instr in place so the per-instruction hot path allocates
+// nothing. Generators are deterministic for a given construction seed.
+type Generator interface {
+	// Name identifies the application (e.g. "mcf").
+	Name() string
+	// Next overwrites in with the next dynamic instruction.
+	Next(in *Instr)
+}
+
+// rng is a small xorshift64* PRNG. We avoid math/rand here: the generator is
+// on the hottest path of the simulator and we want a fixed, documented
+// algorithm so traces are reproducible across Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float64 returns a uniform value in [0,1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0,n). n must be positive.
+func (r *rng) intn(n uint64) uint64 {
+	return r.next() % n
+}

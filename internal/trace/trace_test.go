@@ -1,0 +1,406 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if ALU.String() != "alu" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("unexpected kind strings")
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind should stringify to ?")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("rng diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := newRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.next()] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("zero-seeded rng produced duplicates in first 100 draws: %d unique", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		p    PaperStats
+		want Intensity
+	}{
+		{PaperStats{WPKI: 68, MPKI: 55}, HighIntensity},
+		{PaperStats{WPKI: 5.24, MPKI: 4.86}, HighIntensity}, // leslie3d: sum 10.1
+		{PaperStats{WPKI: 2.89, MPKI: 0.69}, MediumIntensity},
+		{PaperStats{WPKI: 0.5, MPKI: 0.5}, MediumIntensity}, // sum exactly 1
+		{PaperStats{WPKI: 0.04, MPKI: 0.05}, LowIntensity},
+	}
+	for _, c := range cases {
+		if got := Classify(c.p); got != c.want {
+			t.Errorf("Classify(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAppNamesCoversTable2(t *testing.T) {
+	names := AppNames()
+	if len(names) != 22 {
+		t.Fatalf("expected 22 applications, got %d", len(names))
+	}
+	if names[0] != "mcf" {
+		t.Errorf("highest-intensity app should be mcf, got %s", names[0])
+	}
+	// Figure 2 ordering: descending WPKI+MPKI.
+	for i := 1; i < len(names); i++ {
+		a, _ := PaperTable2(names[i-1])
+		b, _ := PaperTable2(names[i])
+		if a.WPKI+a.MPKI < b.WPKI+b.MPKI {
+			t.Errorf("AppNames not sorted: %s before %s", names[i-1], names[i])
+		}
+	}
+}
+
+func TestProfileForAllApps(t *testing.T) {
+	for _, name := range AppNames() {
+		prof, err := ProfileFor(name)
+		if err != nil {
+			t.Errorf("ProfileFor(%s): %v", name, err)
+			continue
+		}
+		if err := prof.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if prof.Intensity() != Classify(prof.Paper) {
+			t.Errorf("%s: intensity mismatch", name)
+		}
+	}
+}
+
+func TestProfileForUnknownApp(t *testing.T) {
+	if _, err := ProfileFor("nosuchapp"); err == nil {
+		t.Error("expected error for unknown application")
+	}
+}
+
+func TestProfileValidateRejectsBadInputs(t *testing.T) {
+	bad := []Profile{
+		{Name: "", MemFrac: 0.3},
+		{Name: "x", MemFrac: 1.5},
+		{Name: "x", MemFrac: 0.3, ALUDep: -1},
+		{Name: "x", MemFrac: 0.3, Regions: []RegionSpec{{Weight: 2, SizeBytes: 64, NumPCs: 1}}},
+		{Name: "x", MemFrac: 0.3, Regions: []RegionSpec{{Weight: 0.5, SizeBytes: 1, NumPCs: 1}}},
+		{Name: "x", MemFrac: 0.3, Regions: []RegionSpec{{Weight: 0.5, SizeBytes: 64, NumPCs: 0}}},
+		{Name: "x", MemFrac: 0.3, Regions: []RegionSpec{
+			{Weight: 0.6, SizeBytes: 64, NumPCs: 1},
+			{Weight: 0.6, SizeBytes: 64, NumPCs: 1},
+		}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAppGenDeterminism(t *testing.T) {
+	a, err := NewAppGen(MustProfile("mcf"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewAppGen(MustProfile("mcf"), 1)
+	var ia, ib Instr
+	for i := 0; i < 10000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("generators diverged at instruction %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestAppGenSeedsDiffer(t *testing.T) {
+	a, _ := NewAppGen(MustProfile("mcf"), 1)
+	b, _ := NewAppGen(MustProfile("mcf"), 2)
+	var ia, ib Instr
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia == ib {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Errorf("different seeds produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestAppGenMemFracApproximatelyHonoured(t *testing.T) {
+	g, _ := NewAppGen(MustProfile("lbm"), 3)
+	var in Instr
+	const n = 200000
+	mem := 0
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		if in.Kind != ALU {
+			mem++
+		}
+	}
+	// Paired read-modify-write stores inflate the memory fraction beyond
+	// MemFrac: expected = M(1+q)/(1+Mq) with q the per-access dirtying
+	// probability summed over regions.
+	prof := MustProfile("lbm")
+	q := 0.0
+	for _, r := range prof.Regions {
+		q += r.Weight * r.StoreFrac
+	}
+	m := prof.MemFrac
+	want := m * (1 + q) / (1 + m*q)
+	got := float64(mem) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("memory fraction %v, want ~%v", got, want)
+	}
+	if g.Generated() != n {
+		t.Errorf("Generated() = %d, want %d", g.Generated(), n)
+	}
+	if g.MemAccesses() != uint64(mem) {
+		t.Errorf("MemAccesses() = %d, want %d", g.MemAccesses(), mem)
+	}
+}
+
+func TestAppGenChaseDependencies(t *testing.T) {
+	g, _ := NewAppGen(MustProfile("mcf"), 5)
+	prof := g.Profile()
+	chaseIdx := -1
+	for ri, r := range prof.Regions {
+		if r.Kind == Chase {
+			chaseIdx = ri
+		}
+	}
+	if chaseIdx < 0 {
+		t.Fatal("mcf has no chase region")
+	}
+	chaseBase := uint64(chaseIdx+1) << 30
+	inChase := func(a uint64) bool { return a >= chaseBase && a < chaseBase+(1<<30) }
+
+	var in, prev Instr
+	var lastChaseLoad uint64
+	var seq uint64
+	chainOK := 0
+	pairedOK := 0
+	for i := 0; i < 100000; i++ {
+		prev = in
+		g.Next(&in)
+		seq++
+		switch {
+		case in.Kind == Load && inChase(in.Addr):
+			if lastChaseLoad > 0 {
+				want := seq - lastChaseLoad
+				if want > 1<<20 {
+					want = 1 << 20
+				}
+				if uint64(in.DepDist) != want {
+					t.Fatalf("chase load DepDist %d, want %d", in.DepDist, want)
+				}
+				chainOK++
+			}
+			lastChaseLoad = seq
+		case in.Kind == Store && in.DepDist == 1:
+			// Paired read-modify-write store: same line as the previous
+			// instruction.
+			if prev.Addr>>6 != in.Addr>>6 {
+				t.Fatalf("paired store line %#x, previous access line %#x", in.Addr>>6, prev.Addr>>6)
+			}
+			pairedOK++
+		}
+	}
+	if chainOK < 100 {
+		t.Errorf("only %d chained chase loads in 100k instructions", chainOK)
+	}
+	if pairedOK < 100 {
+		t.Errorf("only %d paired stores in 100k instructions", pairedOK)
+	}
+}
+
+func TestAppGenAddressesWithinRegions(t *testing.T) {
+	for _, name := range []string{"mcf", "streamL", "omnetpp", "namd"} {
+		g, _ := NewAppGen(MustProfile(name), 11)
+		prof := g.Profile()
+		var in Instr
+		for i := 0; i < 50000; i++ {
+			g.Next(&in)
+			if in.Kind == ALU {
+				continue
+			}
+			found := false
+			for ri, r := range prof.Regions {
+				base := uint64(ri+1) << 30
+				lines := (r.SizeBytes + 63) / 64
+				if in.Addr >= base && in.Addr < base+lines*64 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: address %#x outside all regions", name, in.Addr)
+			}
+		}
+	}
+}
+
+func TestStreamRegionSequential(t *testing.T) {
+	g, _ := NewAppGen(MustProfile("streamL"), 13)
+	prof := g.Profile()
+	streamIdx := -1
+	for ri, r := range prof.Regions {
+		if r.Kind == Stream {
+			streamIdx = ri
+		}
+	}
+	if streamIdx < 0 {
+		t.Fatal("streamL has no stream region")
+	}
+	base := uint64(streamIdx+1) << 30
+	var in Instr
+	var prevLine uint64
+	havePrev := false
+	for i := 0; i < 200000; i++ {
+		g.Next(&in)
+		if in.Kind == ALU || in.Addr < base || in.Addr >= base+(1<<30) {
+			continue
+		}
+		line := (in.Addr - base) / 64
+		// Paired read-modify-write stores revisit the current line; the
+		// stream itself advances one line at a time (wrapping to 0).
+		if havePrev && line != prevLine+1 && line != prevLine && line != 0 {
+			t.Fatalf("stream access jumped from line %d to %d", prevLine, line)
+		}
+		prevLine = line
+		havePrev = true
+	}
+	if !havePrev {
+		t.Fatal("no stream accesses observed")
+	}
+}
+
+func TestDeriveProfileMissBudgetProperty(t *testing.T) {
+	// Property: for every app, the derived always-miss weight times MemFrac
+	// reproduces the paper MPKI to within rounding.
+	for _, name := range AppNames() {
+		prof := MustProfile(name)
+		var missW float64
+		for _, r := range prof.Regions {
+			switch r.Kind {
+			case Chase:
+				missW += r.Weight
+			case Stream:
+				// Eight 8B-stride accesses share one line miss.
+				missW += r.Weight / 8
+			}
+		}
+		gotMPKI := 1000 * prof.MemFrac * missW
+		if math.Abs(gotMPKI-prof.Paper.MPKI) > 0.02+0.01*prof.Paper.MPKI {
+			t.Errorf("%s: derived MPKI %v, paper %v", name, gotMPKI, prof.Paper.MPKI)
+		}
+	}
+}
+
+func TestDeriveProfileWritebackBudgetProperty(t *testing.T) {
+	// Property: derived store traffic to L2-missing regions approximates the
+	// paper WPKI (capped at the 0.95 store-fraction ceiling).
+	for _, name := range AppNames() {
+		prof := MustProfile(name)
+		var wb float64
+		for _, r := range prof.Regions {
+			switch r.Kind {
+			case Warm, Chase:
+				wb += r.Weight * r.StoreFrac
+			case Stream:
+				// A line is dirtied if any of its eight accesses paired a
+				// store; one write-back per dirtied line.
+				lineDirty := 1 - math.Pow(1-r.StoreFrac, 8)
+				wb += r.Weight / 8 * lineDirty
+			}
+		}
+		gotWPKI := 1000 * prof.MemFrac * wb
+		if gotWPKI > prof.Paper.WPKI*1.05+0.05 {
+			t.Errorf("%s: derived WPKI %v exceeds paper %v", name, gotWPKI, prof.Paper.WPKI)
+		}
+		if gotWPKI < prof.Paper.WPKI*0.85-0.05 {
+			t.Errorf("%s: derived WPKI %v far below paper %v", name, gotWPKI, prof.Paper.WPKI)
+		}
+	}
+}
+
+func TestInstrGenerationQuickNoPanics(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		g, err := NewAppGen(MustProfile("soplex"), seed)
+		if err != nil {
+			return false
+		}
+		var in Instr
+		for i := 0; i < int(steps); i++ {
+			g.Next(&in)
+			if in.Kind != ALU && in.Addr == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 20}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, name := range []string{"mcf", "streamL", "namd"} {
+		d := MustProfile(name).Describe()
+		if !strings.Contains(d, name) || !strings.Contains(d, "paper targets") {
+			t.Errorf("%s: describe output incomplete:\n%s", name, d)
+		}
+	}
+	// mcf must show its chase region with full chaining.
+	if d := MustProfile("mcf").Describe(); !strings.Contains(d, "chase") || !strings.Contains(d, "chain=1.00") {
+		t.Errorf("mcf describe missing chase chain:\n%s", d)
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	cases := map[uint64]string{
+		64:        "64B",
+		16 << 10:  "16KB",
+		320 << 10: "320KB",
+		64 << 20:  "64MB",
+	}
+	for n, want := range cases {
+		if got := sizeString(n); got != want {
+			t.Errorf("sizeString(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package workload composes the multi-programmed 16-core workloads of
+// Section V-A: random mixes of SPEC CPU2006 applications in which high
+// write-intensive programs (WPKI+MPKI > 10) always run alongside medium
+// (1..10) and low (< 1) ones — the regime where per-bank wear imbalance is
+// worst. Ten workloads (WL1..WL10) are generated deterministically from a
+// fixed seed so every experiment sees the same mixes.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Workload is a named assignment of one application per core.
+type Workload struct {
+	Name string
+	Apps []string // length = core count
+}
+
+// Profiles resolves the application names to trace profiles.
+func (w Workload) Profiles() ([]trace.Profile, error) {
+	out := make([]trace.Profile, 0, len(w.Apps))
+	for _, name := range w.Apps {
+		p, err := trace.ProfileFor(name)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Intensities returns how many high/medium/low-intensity apps the mix has.
+func (w Workload) Intensities() (high, medium, low int) {
+	for _, name := range w.Apps {
+		p, _ := trace.PaperTable2(name)
+		switch trace.Classify(p) {
+		case trace.HighIntensity:
+			high++
+		case trace.MediumIntensity:
+			medium++
+		default:
+			low++
+		}
+	}
+	return high, medium, low
+}
+
+// splitmix64 is a tiny deterministic PRNG for workload composition; it is
+// fixed here (rather than math/rand) so the WL mixes never change across Go
+// releases.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// byClass partitions the application table into the paper's intensity
+// classes, in the stable AppNames order.
+func byClass() (high, medium, low []string) {
+	for _, name := range trace.AppNames() {
+		p, _ := trace.PaperTable2(name)
+		switch trace.Classify(p) {
+		case trace.HighIntensity:
+			high = append(high, name)
+		case trace.MediumIntensity:
+			medium = append(medium, name)
+		default:
+			low = append(low, name)
+		}
+	}
+	return high, medium, low
+}
+
+// Standard returns the ten 16-core workloads WL1..WL10. Each mix contains
+// between 3 and 8 high-intensity applications (the count varies across
+// workloads to span memory-pressure regimes, mirroring "different levels of
+// memory/write intensities"), with the remaining cores filled from the
+// medium and low classes.
+func Standard(cores int) []Workload {
+	r := &splitmix64{s: 0x5eed2016}
+	high, medium, low := byClass()
+	var out []Workload
+	for i := 0; i < 10; i++ {
+		nHigh := 3 + i%6 // 3..8
+		apps := make([]string, 0, cores)
+		for len(apps) < nHigh {
+			apps = append(apps, high[r.intn(len(high))])
+		}
+		for len(apps) < cores {
+			// Alternate medium/low with a random tilt.
+			if r.intn(2) == 0 {
+				apps = append(apps, medium[r.intn(len(medium))])
+			} else {
+				apps = append(apps, low[r.intn(len(low))])
+			}
+		}
+		// Shuffle the core assignment so heavy apps land on different
+		// tiles in different workloads (Fisher-Yates).
+		for j := len(apps) - 1; j > 0; j-- {
+			k := r.intn(j + 1)
+			apps[j], apps[k] = apps[k], apps[j]
+		}
+		out = append(out, Workload{Name: fmt.Sprintf("WL%d", i+1), Apps: apps})
+	}
+	return out
+}
+
+// ByName returns the named standard workload.
+func ByName(name string, cores int) (Workload, error) {
+	for _, w := range Standard(cores) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestStandardShape(t *testing.T) {
+	wls := Standard(16)
+	if len(wls) != 10 {
+		t.Fatalf("got %d workloads, want 10", len(wls))
+	}
+	for i, w := range wls {
+		if w.Name != "WL"+string(rune('1'+i)) && w.Name != "WL10" {
+			// names are WL1..WL10; the rune trick covers 1..9
+			if i != 9 {
+				t.Errorf("workload %d name %q", i, w.Name)
+			}
+		}
+		if len(w.Apps) != 16 {
+			t.Errorf("%s has %d apps, want 16", w.Name, len(w.Apps))
+		}
+	}
+}
+
+func TestEveryWorkloadMixesIntensities(t *testing.T) {
+	for _, w := range Standard(16) {
+		high, medium, low := w.Intensities()
+		if high < 3 {
+			t.Errorf("%s: only %d high-intensity apps (paper requires them present)", w.Name, high)
+		}
+		if medium+low == 0 {
+			t.Errorf("%s: no medium/low apps to contrast against", w.Name)
+		}
+		if high+medium+low != 16 {
+			t.Errorf("%s: classes sum to %d", w.Name, high+medium+low)
+		}
+	}
+}
+
+func TestHighCountVariesAcrossWorkloads(t *testing.T) {
+	counts := map[int]bool{}
+	for _, w := range Standard(16) {
+		h, _, _ := w.Intensities()
+		counts[h] = true
+	}
+	if len(counts) < 3 {
+		t.Errorf("high-intensity counts %v lack diversity", counts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := Standard(16), Standard(16)
+	for i := range a {
+		for j := range a[i].Apps {
+			if a[i].Apps[j] != b[i].Apps[j] {
+				t.Fatalf("workload composition is not deterministic at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWorkloadsDiffer(t *testing.T) {
+	wls := Standard(16)
+	same := 0
+	for j := range wls[0].Apps {
+		if wls[0].Apps[j] == wls[1].Apps[j] {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("WL1 and WL2 are identical")
+	}
+}
+
+func TestProfilesResolve(t *testing.T) {
+	for _, w := range Standard(16) {
+		profs, err := w.Profiles()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(profs) != 16 {
+			t.Fatalf("%s: %d profiles", w.Name, len(profs))
+		}
+		for i, p := range profs {
+			if p.Name != w.Apps[i] {
+				t.Errorf("%s core %d: profile %s for app %s", w.Name, i, p.Name, w.Apps[i])
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("WL3", 16)
+	if err != nil || w.Name != "WL3" {
+		t.Errorf("ByName(WL3) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("WL99", 16); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestAllAppsAreKnown(t *testing.T) {
+	known := map[string]bool{}
+	for _, n := range trace.AppNames() {
+		known[n] = true
+	}
+	for _, w := range Standard(16) {
+		for _, a := range w.Apps {
+			if !known[a] {
+				t.Errorf("%s uses unknown app %q", w.Name, a)
+			}
+		}
+	}
+}
