@@ -1,0 +1,27 @@
+# Verification targets. `make check` is the full tier-1 + race gate; the
+# parallel harness (internal/pool, the experiment Runner's fan-out) must
+# stay race-clean, so the race detector is part of the standard gate.
+
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-bearing packages plus the top-level harness.
+# (`$(GO) test -race ./...` also works; this subset keeps the gate fast.)
+race:
+	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/experiments/ .
+
+check: build vet test race
+
+# One regeneration of every experiment as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -14,8 +14,10 @@ package repro
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -45,7 +47,10 @@ func benchParams() experiments.Params {
 	return p
 }
 
-// runExperiment executes one registered experiment per benchmark iteration.
+// runExperiment executes one registered experiment per benchmark iteration
+// and reports the harness's throughput (sims/sec) and per-iteration
+// wall-clock, so BENCH_*.json captures the perf trajectory of the parallel
+// harness across PRs.
 func runExperiment(b *testing.B, id string) *experiments.Runner {
 	b.Helper()
 	e, err := experiments.ByID(id)
@@ -53,13 +58,46 @@ func runExperiment(b *testing.B, id string) *experiments.Runner {
 		b.Fatal(err)
 	}
 	var r *experiments.Runner
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		r = experiments.NewRunner(benchParams())
 		if _, err := e.Run(r); err != nil {
 			b.Fatal(err)
 		}
 	}
+	wall := time.Since(start)
+	if sims := r.Sims(); sims > 0 && wall > 0 {
+		b.ReportMetric(float64(sims)*float64(b.N)/wall.Seconds(), "sims/sec")
+	}
+	b.ReportMetric(wall.Seconds()/float64(b.N), "wallclock-sec")
 	return r
+}
+
+// BenchmarkParallelSpeedup runs the "actual" variant's five-policy suite
+// serially (Workers=1) and in parallel (one worker per CPU) and reports the
+// wall-clock ratio. On a multi-core host the speedup approaches the core
+// count (50 independent 16-core simulations); on one core it sits at ~1.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	v := mustVariant(b, "actual")
+	measure := func(workers int) (time.Duration, uint64) {
+		p := benchParams()
+		p.Workers = workers
+		r := experiments.NewRunner(p)
+		start := time.Now()
+		if _, err := r.Lifetime(v); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), r.Sims()
+	}
+	cpus := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		serial, sims := measure(1)
+		parallel, _ := measure(cpus)
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(float64(cpus), "workers")
+		b.ReportMetric(float64(sims)/serial.Seconds(), "serialSims/sec")
+		b.ReportMetric(float64(sims)/parallel.Seconds(), "parallelSims/sec")
+	}
 }
 
 func BenchmarkTable2(b *testing.B) {

@@ -7,11 +7,18 @@
 //	renuca-bench -exp all              # everything (several minutes)
 //	renuca-bench -exp fig3             # one experiment
 //	renuca-bench -list                 # list experiment ids
+//	renuca-bench -workers 8            # cap simulation concurrency
 //	RENUCA_INSTR=200000 renuca-bench   # scale the measured windows
+//
+// Experiments launch concurrently: independent simulations fan out over a
+// bounded worker pool (RENUCA_WORKERS or -workers, default one worker per
+// CPU) while experiments that share simulation suites deduplicate through
+// the Runner's singleflight memoisation. Output order and content are
+// identical for every worker count.
 //
 // Scale knobs (environment): RENUCA_INSTR, RENUCA_WARMUP (16-core runs),
 // RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP (single-core characterisation),
-// RENUCA_SEED.
+// RENUCA_SEED, RENUCA_WORKERS.
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = RENUCA_WORKERS or one per CPU)")
 	flag.Parse()
 
 	if *list {
@@ -37,7 +45,11 @@ func main() {
 		return
 	}
 
-	r := experiments.NewRunner(experiments.ParamsFromEnv())
+	params := experiments.ParamsFromEnv()
+	if *workers > 0 {
+		params.Workers = *workers
+	}
+	r := experiments.NewRunner(params)
 	if !*quiet {
 		r.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
@@ -59,15 +71,33 @@ func main() {
 	}
 
 	start := time.Now()
-	for _, e := range todo {
-		out, err := e.Run(r)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "renuca-bench: %s: %v\n", e.ID, err)
+	// Launch every experiment at once: each goroutine only coordinates —
+	// its simulations gate on the Runner's shared worker pool, and shared
+	// suites run once via singleflight. Results print in paper order as
+	// they complete.
+	outs := make([]string, len(todo))
+	errs := make([]error, len(todo))
+	done := make([]chan struct{}, len(todo))
+	for i, e := range todo {
+		done[i] = make(chan struct{})
+		go func(i int, e experiments.Experiment) {
+			defer close(done[i])
+			outs[i], errs[i] = e.Run(r)
+		}(i, e)
+	}
+	for i, e := range todo {
+		<-done[i]
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "renuca-bench: %s: %v\n", e.ID, errs[i])
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s ====\n%s\n", e.Title, out)
+		fmt.Printf("==== %s ====\n%s\n", e.Title, outs[i])
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "# total %s\n", time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		sims := r.Sims()
+		fmt.Fprintf(os.Stderr, "# total %s  (%d sims, %.1f sims/sec, workers=%d)\n",
+			elapsed.Round(time.Millisecond), sims,
+			float64(sims)/elapsed.Seconds(), r.Workers())
 	}
 }

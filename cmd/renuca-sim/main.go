@@ -7,6 +7,12 @@
 //	renuca-sim -policy renuca -workload WL1
 //	renuca-sim -policy snuca -apps mcf,hmmer,...   (16 names)
 //	renuca-sim -policy rnuca -workload WL3 -instr 1000000
+//	renuca-sim -all -workload WL1                  (all 5 policies, in parallel)
+//
+// With -all, the five policies simulate concurrently on a bounded worker
+// pool (RENUCA_WORKERS or -workers, default one per CPU) and a comparison
+// table prints in the paper's policy order; the numbers are identical for
+// any worker count.
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/nuca"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -48,6 +56,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	threshold := flag.Float64("threshold", 10, "criticality threshold x% (default: the calibrated knee)")
 	listWL := flag.Bool("list-workloads", false, "print the standard workload mixes and exit")
+	all := flag.Bool("all", false, "run all five policies on the workload, in parallel, and print a comparison")
+	workers := flag.Int("workers", 0, "max concurrent simulations with -all (0 = RENUCA_WORKERS or one per CPU)")
 	flag.Parse()
 
 	if *listWL {
@@ -91,6 +101,11 @@ func main() {
 			os.Exit(1)
 		}
 		profs = append(profs, p)
+	}
+
+	if *all {
+		runAllPolicies(profs, *instr, *warmup, *seed, *threshold, *workers)
+		return
 	}
 
 	s, err := sim.New(cfg, profs)
@@ -148,4 +163,46 @@ func main() {
 	fmt.Printf("TLB: misses=%d lost mapping bits=%d\n", tlbMiss, tlbLost)
 	fmt.Printf("bank lifetimes h-mean=%.2fy min=%.2fy max=%.2fy\n",
 		stats.HarmonicMean(res.BankLifetimes), stats.Min(res.BankLifetimes), stats.Max(res.BankLifetimes))
+}
+
+// runAllPolicies simulates the workload under all five NUCA policies on a
+// bounded worker pool and prints a comparison table in the paper's policy
+// order. Each policy runs on its own System with the same seed, so the
+// table matches five sequential single-policy invocations exactly.
+func runAllPolicies(profs []trace.Profile, instr, warmup, seed uint64, threshold float64, workers int) {
+	policies := nuca.Policies()
+	results := make([]sim.Result, len(policies))
+	pl := pool.New(pool.DefaultWorkers(workers))
+	start := time.Now()
+	err := pl.Map(len(policies), func(i int) error {
+		cfg := sim.DefaultConfig(policies[i])
+		cfg.Seed = seed
+		cfg.CPT.ThresholdPct = threshold
+		s, err := sim.New(cfg, profs)
+		if err != nil {
+			return err
+		}
+		res, err := s.RunMeasured(warmup, instr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", policies[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("all policies, instr/core=%d workers=%d wall=%s\n\n",
+		instr, pl.Size(), time.Since(start).Round(time.Millisecond))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tmean IPC\tmin life[y]\th-mean life[y]\twrite imbalance\tLLC writes")
+	for _, res := range results {
+		llcWrites := res.LLC.Fills + res.LLC.WritebackHits
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.2f\t%.2f\t%d\n",
+			res.Policy, res.MeanIPC, res.MinLifetime,
+			stats.HarmonicMean(res.BankLifetimes), res.WriteImbalance, llcWrites)
+	}
+	w.Flush()
 }

@@ -60,7 +60,9 @@ type Victim struct {
 }
 
 // Cache is a single set-associative cache. It is not safe for concurrent
-// use; the simulator accesses each cache from a single goroutine.
+// use: every Cache belongs to exactly one sim.System, and the parallel
+// experiment harness confines each System — caches included — to a single
+// worker goroutine (concurrent sweeps run disjoint Systems).
 type Cache struct {
 	cfg      Config
 	sets     []way // flattened [numSets][ways]

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/nuca"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -183,21 +184,71 @@ type SuiteReport struct {
 	HMeanLifetime float64
 }
 
+// DeriveSeed derives an independent simulation seed from a base seed and a
+// chain of labels (variant, policy, workload, …). It is a stable FNV-1a
+// hash with a splitmix64 finisher, so per-run seeds depend only on the
+// (Seed, labels…) tuple — never on execution order — which is what keeps
+// parallel and serial suite runs byte-identical.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (base >> (8 * i) & 0xff)) * fnvPrime
+	}
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = (h ^ uint64(l[i])) * fnvPrime
+		}
+		h = (h ^ 0xff) * fnvPrime // separator: ("ab","c") != ("a","bc")
+	}
+	// splitmix64 finisher for avalanche.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	if h == 0 {
+		h = fnvOffset
+	}
+	return h
+}
+
 // RunSuite executes every workload under the policy configured in base
-// (base.Apps is ignored) and aggregates the results.
+// (base.Apps is ignored) and aggregates the results. Workloads run in
+// parallel on a private worker pool sized by RENUCA_WORKERS (default: one
+// worker per CPU); use RunSuiteOn to share a pool across suites.
 func RunSuite(base Options, workloads []workload.Workload) (SuiteReport, error) {
+	return RunSuiteOn(pool.New(pool.DefaultWorkers(0)), base, workloads)
+}
+
+// RunSuiteOn is RunSuite drawing its per-workload simulations from the
+// given shared pool. Each workload simulates on its own sim.System with a
+// seed derived from (base.Seed, workload name), and results are aggregated
+// in workload order, so the report is identical whatever the pool size.
+func RunSuiteOn(pl *pool.Pool, base Options, workloads []workload.Workload) (SuiteReport, error) {
 	sr := SuiteReport{Policy: base.Policy.String()}
-	var perBank [][]float64
-	var ipcs, all []float64
-	for _, wl := range workloads {
+	sr.Reports = make([]Report, len(workloads))
+	err := pl.Map(len(workloads), func(i int) error {
+		wl := workloads[i]
 		o := base
 		o.Apps = wl.Apps
+		o.Seed = DeriveSeed(base.Seed, wl.Name)
 		rep, err := Run(o)
 		if err != nil {
-			return SuiteReport{}, fmt.Errorf("%s on %s: %w", base.Policy, wl.Name, err)
+			return fmt.Errorf("%s on %s: %w", base.Policy, wl.Name, err)
 		}
 		rep.Workload = wl.Name
-		sr.Reports = append(sr.Reports, rep)
+		sr.Reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return SuiteReport{}, err
+	}
+	var perBank [][]float64
+	var ipcs, all []float64
+	for _, rep := range sr.Reports {
 		if perBank == nil {
 			perBank = make([][]float64, len(rep.BankLifetimes))
 		}

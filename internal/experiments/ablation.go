@@ -22,21 +22,26 @@ type AblationPoint struct {
 
 // Ablation sweeps the Re-NUCA criticality threshold on WL1 and also runs
 // the R-NUCA and S-NUCA endpoints for reference (threshold 0 marks them).
+// The thresholds fan out on the Runner's pool; every point shares the same
+// seed so only the threshold varies along the series.
 func (r *Runner) Ablation() ([]AblationPoint, error) {
 	wl := r.workloads()[0]
-	var out []AblationPoint
-	for _, th := range []float64{1, 3, 10, 33, 100} {
+	thresholds := []float64{1, 3, 10, 33, 100}
+	out := make([]AblationPoint, len(thresholds))
+	err := r.pool.Map(len(thresholds), func(i int) error {
+		th := thresholds[i]
 		o := core.DefaultOptions(core.ReNUCA)
 		o.InstrPerCore = r.P.InstrPerCore
 		o.Warmup = r.P.Warmup
 		o.Seed = r.P.Seed
 		o.Apps = wl.Apps
 		o.CriticalityThresholdPct = th
-		r.logf("ablation Re-NUCA threshold x=%3.0f%% on %s", th, wl.Name)
+		r.logf("ablation", "Re-NUCA threshold x=%3.0f%% on %s", th, wl.Name)
 		rep, err := core.Run(o)
 		if err != nil {
-			return nil, fmt.Errorf("ablation x=%v: %w", th, err)
+			return fmt.Errorf("ablation x=%v: %w", th, err)
 		}
+		r.sims.Add(1)
 		critPct := 0.0
 		if rep.LLC.Fills > 0 {
 			critPct = 100 * float64(rep.LLC.CriticalFills) / float64(rep.LLC.Fills)
@@ -45,14 +50,18 @@ func (r *Runner) Ablation() ([]AblationPoint, error) {
 		if h := rep.LLC.ReadHits + rep.LLC.WritebackHits; h > 0 {
 			fbPct = 100 * float64(rep.LLC.FallbackHits) / float64(h)
 		}
-		out = append(out, AblationPoint{
+		out[i] = AblationPoint{
 			ThresholdPct:    th,
 			MeanIPC:         rep.MeanIPC,
 			MinLifetime:     rep.MinLifetime,
 			HMeanLifetime:   stats.HarmonicMean(rep.BankLifetimes),
 			CriticalFillPct: critPct,
 			FallbackHitPct:  fbPct,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -100,25 +109,31 @@ func (r *Runner) RotationAblation() ([]RotationPoint, error) {
 			apps[i] = "xalancbmk"
 		}
 	}
-	var out []RotationPoint
-	for _, rot := range []bool{false, true} {
+	out := make([]RotationPoint, 2)
+	err := r.pool.Map(2, func(i int) error {
+		rot := i == 1
 		o := core.DefaultOptions(core.ReNUCA)
 		o.InstrPerCore = 10 * r.P.InstrPerCore
 		o.Warmup = r.P.Warmup
 		o.Seed = r.P.Seed
 		o.Apps = apps
 		o.IntraBankWL = rot
-		r.logf("ablation intra-bank rotation=%v on omnetpp/xalancbmk mix (%d instr)", rot, o.InstrPerCore)
+		r.logf("rotation", "intra-bank rotation=%v on omnetpp/xalancbmk mix (%d instr)", rot, o.InstrPerCore)
 		rep, err := core.Run(o)
 		if err != nil {
-			return nil, fmt.Errorf("rotation ablation: %w", err)
+			return fmt.Errorf("rotation ablation: %w", err)
 		}
-		out = append(out, RotationPoint{
+		r.sims.Add(1)
+		out[i] = RotationPoint{
 			Rotation:        rot,
 			MinCapacity:     rep.MinLifetime,
 			MinFirstFailure: rep.MinFirstFailure(),
 			MeanIPC:         rep.MeanIPC,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -150,30 +165,37 @@ type WriteLatencyPoint struct {
 }
 
 // WriteLatencyAblation sweeps the ReRAM write latency on WL1 for R-NUCA
-// and Re-NUCA.
+// and Re-NUCA; the six (latency, policy) combinations fan out on the pool.
 func (r *Runner) WriteLatencyAblation() ([]WriteLatencyPoint, error) {
 	wl := r.workloads()[0]
-	var out []WriteLatencyPoint
-	for _, wlat := range []uint32{100, 200, 400} {
-		for _, p := range []core.Policy{core.RNUCA, core.ReNUCA} {
-			o := core.DefaultOptions(p)
-			o.InstrPerCore = r.P.InstrPerCore
-			o.Warmup = r.P.Warmup
-			o.Seed = r.P.Seed
-			o.Apps = wl.Apps
-			o.ReRAMWriteLatency = wlat
-			r.logf("ablation ReRAM write latency %d cycles, %s", wlat, p)
-			rep, err := core.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("write-latency ablation: %w", err)
-			}
-			out = append(out, WriteLatencyPoint{
-				WriteLatency: wlat,
-				Policy:       rep.Policy,
-				MeanIPC:      rep.MeanIPC,
-				MinLifetime:  rep.MinLifetime,
-			})
+	latencies := []uint32{100, 200, 400}
+	policies := []core.Policy{core.RNUCA, core.ReNUCA}
+	out := make([]WriteLatencyPoint, len(latencies)*len(policies))
+	err := r.pool.Map(len(out), func(i int) error {
+		wlat := latencies[i/len(policies)]
+		p := policies[i%len(policies)]
+		o := core.DefaultOptions(p)
+		o.InstrPerCore = r.P.InstrPerCore
+		o.Warmup = r.P.Warmup
+		o.Seed = r.P.Seed
+		o.Apps = wl.Apps
+		o.ReRAMWriteLatency = wlat
+		r.logf("writelat", "ReRAM write latency %d cycles, %s", wlat, p)
+		rep, err := core.Run(o)
+		if err != nil {
+			return fmt.Errorf("write-latency ablation: %w", err)
 		}
+		r.sims.Add(1)
+		out[i] = WriteLatencyPoint{
+			WriteLatency: wlat,
+			Policy:       rep.Policy,
+			MeanIPC:      rep.MeanIPC,
+			MinLifetime:  rep.MinLifetime,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -33,29 +33,35 @@ type ThresholdPoint struct {
 }
 
 // ThresholdSweep runs the single-core characterisation for every
-// (application, threshold) pair of Figures 7, 8 and 9.
+// (application, threshold) pair of Figures 7, 8 and 9. All 72 pairs are
+// independent simulations, so they fan out on the Runner's pool; each pair
+// lands at its (app, threshold) position in the result slice. Every
+// threshold of one application shares the same seed — and therefore the
+// same instruction stream — so the per-app series vary only in the
+// predictor's threshold, exactly as in the serial harness.
 func (r *Runner) ThresholdSweep() ([]ThresholdPoint, error) {
-	if r.sweep != nil {
-		return r.sweep, nil
-	}
-	var out []ThresholdPoint
-	for _, app := range SweepApps {
-		prof, err := trace.ProfileFor(app)
-		if err != nil {
-			return nil, err
-		}
-		for _, th := range SweepThresholds {
+	return r.sweepFlight.Do("sweep", func() ([]ThresholdPoint, error) {
+		n := len(SweepApps) * len(SweepThresholds)
+		out := make([]ThresholdPoint, n)
+		err := r.pool.Map(n, func(i int) error {
+			app := SweepApps[i/len(SweepThresholds)]
+			th := SweepThresholds[i%len(SweepThresholds)]
+			prof, err := trace.ProfileFor(app)
+			if err != nil {
+				return err
+			}
 			cfg := sim.CharacterisationConfig()
 			cfg.Seed = r.P.Seed
 			cfg.CPT.ThresholdPct = th
 			s, err := sim.New(cfg, []trace.Profile{prof})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			r.logf("threshold sweep %-10s x=%3.0f%%", app, th)
+			r.logf("sweep", "threshold sweep %-10s x=%3.0f%%", app, th)
 			if _, err := s.RunMeasured(r.P.CharWarmup, r.P.CharInstr); err != nil {
-				return nil, fmt.Errorf("sweep %s@%v%%: %w", app, th, err)
+				return fmt.Errorf("sweep %s@%v%%: %w", app, th, err)
 			}
+			r.sims.Add(1)
 			ps := s.Core(0).Predictor().Stats()
 			recall := 0.0
 			if n := ps.TruePositive + ps.FalseNegative; n > 0 {
@@ -70,17 +76,20 @@ func (r *Runner) ThresholdSweep() ([]ThresholdPoint, error) {
 			if w := llc.WritesCritical + llc.WritesNonCritical; w > 0 {
 				nonCritWrites = 100 * float64(llc.WritesNonCritical) / float64(w)
 			}
-			out = append(out, ThresholdPoint{
+			out[i] = ThresholdPoint{
 				App:                  app,
 				ThresholdPct:         th,
 				AccuracyPct:          recall,
 				NonCriticalBlocksPct: nonCritBlocks,
 				WritesNonCriticalPct: nonCritWrites,
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-	}
-	r.sweep = out
-	return out, nil
+		return out, nil
+	})
 }
 
 // renderSweep prints one metric of the sweep as an apps-x-thresholds grid.

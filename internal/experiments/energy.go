@@ -20,25 +20,34 @@ type EnergyPoint struct {
 // why its endurance problem is worth solving).
 func (r *Runner) EnergyStudy() ([]EnergyPoint, error) {
 	wl := r.workloads()[0]
-	var out []EnergyPoint
-	for _, p := range core.Policies() {
+	policies := core.Policies()
+	out := make([]EnergyPoint, 2*len(policies))
+	err := r.pool.Map(len(policies), func(i int) error {
+		p := policies[i]
 		o := core.DefaultOptions(p)
 		o.InstrPerCore = r.P.InstrPerCore
 		o.Warmup = r.P.Warmup
 		o.Seed = r.P.Seed
 		o.Apps = wl.Apps
-		r.logf("energy study: %s on %s", p, wl.Name)
+		r.logf("energy", "energy study: %s on %s", p, wl.Name)
 		rep, err := core.Run(o)
 		if err != nil {
-			return nil, fmt.Errorf("energy study %s: %w", p, err)
+			return fmt.Errorf("energy study %s: %w", p, err)
 		}
-		for _, tech := range []energy.Technology{energy.SRAM(), energy.ReRAM()} {
+		r.sims.Add(1)
+		// Technology comparison is post-processing of the same run: SRAM
+		// at slot 2i, ReRAM at 2i+1, matching the serial ordering.
+		for t, tech := range []energy.Technology{energy.SRAM(), energy.ReRAM()} {
 			b, err := energy.Estimate(tech, rep.Energy)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out = append(out, EnergyPoint{Policy: rep.Policy, Breakdown: b})
+			out[2*i+t] = EnergyPoint{Policy: rep.Policy, Breakdown: b}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/workload"
 )
 
@@ -33,6 +36,11 @@ type Params struct {
 	CharInstr  uint64
 	CharWarmup uint64
 	Seed       uint64
+	// Workers bounds how many simulations run concurrently across ALL
+	// experiments a Runner executes (suites, characterisation, sweeps).
+	// 0 means auto: RENUCA_WORKERS if set, else one worker per CPU.
+	// Results are byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultParams returns the standard scale.
@@ -47,9 +55,9 @@ func DefaultParams() Params {
 }
 
 // ParamsFromEnv starts from DefaultParams and applies the RENUCA_INSTR,
-// RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP and RENUCA_SEED
-// environment overrides, so benchmark runs can be scaled without editing
-// code.
+// RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP, RENUCA_SEED and
+// RENUCA_WORKERS environment overrides, so benchmark runs can be scaled
+// without editing code.
 func ParamsFromEnv() Params {
 	p := DefaultParams()
 	get := func(name string, dst *uint64) {
@@ -64,6 +72,7 @@ func ParamsFromEnv() Params {
 	get("RENUCA_CHAR_INSTR", &p.CharInstr)
 	get("RENUCA_CHAR_WARMUP", &p.CharWarmup)
 	get("RENUCA_SEED", &p.Seed)
+	p.Workers = pool.DefaultWorkers(0)
 	return p
 }
 
@@ -95,52 +104,100 @@ func VariantByKey(key string) (Variant, error) {
 	return Variant{}, fmt.Errorf("experiments: unknown variant %q", key)
 }
 
-// Runner executes experiments with memoisation. Not safe for concurrent
-// use.
+// Runner executes experiments with memoisation. It is safe for concurrent
+// use: experiments may be launched from multiple goroutines, memoised
+// results (the policy suites, the characterisation table, the threshold
+// sweep) are computed once and shared via per-key singleflight, and all
+// simulations draw from one bounded worker pool so total concurrency stays
+// at P.Workers however many experiments are in flight.
 type Runner struct {
 	P Params
 	// Log, when non-nil, receives progress lines (suites take tens of
-	// seconds; the harness reports what it is doing).
+	// seconds; the harness reports what it is doing). It may be invoked
+	// from multiple goroutines but never concurrently: the Runner
+	// serialises calls and prefixes each line with the suite key that
+	// produced it.
 	Log func(format string, args ...any)
 
-	table2 []Table2Row
-	suites map[string]map[string]core.SuiteReport // variant key -> policy -> suite
-	sweep  []ThresholdPoint
+	logMu sync.Mutex
+	pool  *pool.Pool
+	sims  atomic.Uint64
+
+	suiteFlight  pool.Flight[string, map[string]core.SuiteReport]
+	table2Flight pool.Flight[string, []Table2Row]
+	sweepFlight  pool.Flight[string, []ThresholdPoint]
 }
 
 // NewRunner builds a Runner with the given parameters.
 func NewRunner(p Params) *Runner {
-	return &Runner{P: p, suites: make(map[string]map[string]core.SuiteReport)}
+	return &Runner{P: p, pool: pool.New(pool.DefaultWorkers(p.Workers))}
 }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		r.Log(format, args...)
+// Workers returns the size of the Runner's simulation pool.
+func (r *Runner) Workers() int { return r.pool.Size() }
+
+// Sims returns how many simulations the Runner has completed — the
+// denominator-free throughput counter behind the harness's sims/sec
+// reporting. Memoised reuse does not re-count.
+func (r *Runner) Sims() uint64 { return r.sims.Load() }
+
+// logf emits one progress line, serialised and prefixed with the key of
+// the suite or phase that produced it so interleaved parallel progress
+// stays attributable.
+func (r *Runner) logf(key, format string, args ...any) {
+	if r.Log == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	r.Log("[%-12s] "+format, append([]any{key}, args...)...)
 }
 
 // workloads returns the standard WL1..WL10.
 func (r *Runner) workloads() []workload.Workload { return core.StandardWorkloads() }
 
 // suiteSet runs (or returns the memoised) five-policy suite for a variant.
+// The five policies fan out concurrently; each policy's ten workloads fan
+// out inside core.RunSuiteOn. All leaf simulations gate on the shared pool,
+// and every result lands at its (policy, workload) position, so the suite
+// is identical for any worker count.
 func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
-	if got, ok := r.suites[v.Key]; ok {
-		return got, nil
-	}
-	set := make(map[string]core.SuiteReport)
-	for _, p := range core.Policies() {
-		o := core.DefaultOptions(p)
-		o.InstrPerCore = r.P.InstrPerCore
-		o.Warmup = r.P.Warmup
-		o.Seed = r.P.Seed
-		v.Mod(&o)
-		r.logf("suite %-7s policy %-8s (10 workloads x %d instr/core)", v.Key, p, o.InstrPerCore)
-		sr, err := core.RunSuite(o, r.workloads())
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v.Key, err)
+	return r.suiteFlight.Do(v.Key, func() (map[string]core.SuiteReport, error) {
+		policies := core.Policies()
+		reports := make([]core.SuiteReport, len(policies))
+		errs := make([]error, len(policies))
+		var wg sync.WaitGroup
+		for i, p := range policies {
+			wg.Add(1)
+			// Coordinator goroutine per policy: holds no pool slot while
+			// its workload simulations queue, so nesting cannot deadlock.
+			go func(i int, p core.Policy) {
+				defer wg.Done()
+				o := core.DefaultOptions(p)
+				o.InstrPerCore = r.P.InstrPerCore
+				o.Warmup = r.P.Warmup
+				o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
+				v.Mod(&o)
+				r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
+				sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
+				if err != nil {
+					errs[i] = fmt.Errorf("variant %s: %w", v.Key, err)
+					return
+				}
+				r.sims.Add(uint64(len(sr.Reports)))
+				reports[i] = sr
+			}(i, p)
 		}
-		set[p.String()] = sr
-	}
-	r.suites[v.Key] = set
-	return set, nil
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		set := make(map[string]core.SuiteReport, len(policies))
+		for i, p := range policies {
+			set[p.String()] = reports[i]
+		}
+		return set, nil
+	})
 }

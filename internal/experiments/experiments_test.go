@@ -23,9 +23,16 @@ func TestParamsFromEnv(t *testing.T) {
 	t.Setenv("RENUCA_CHAR_INSTR", "777")
 	t.Setenv("RENUCA_CHAR_WARMUP", "55")
 	t.Setenv("RENUCA_SEED", "9")
+	t.Setenv("RENUCA_WORKERS", "6")
 	p := ParamsFromEnv()
 	if p.InstrPerCore != 1234 || p.Warmup != 99 || p.CharInstr != 777 || p.CharWarmup != 55 || p.Seed != 9 {
 		t.Errorf("env not applied: %+v", p)
+	}
+	if p.Workers != 6 {
+		t.Errorf("RENUCA_WORKERS not applied: %d", p.Workers)
+	}
+	if got := NewRunner(p).Workers(); got != 6 {
+		t.Errorf("runner pool size %d, want 6", got)
 	}
 	t.Setenv("RENUCA_INSTR", "garbage")
 	if q := ParamsFromEnv(); q.InstrPerCore != DefaultParams().InstrPerCore {
@@ -139,11 +146,16 @@ func TestLifetimeSuiteAndRenders(t *testing.T) {
 			t.Errorf("S-NUCA self-improvement %v", v)
 		}
 	}
-	// Memoisation: the suite map must be reused.
+	// Memoisation: a second Lifetime call must run no new simulations and
+	// hold exactly one suite set.
+	before := r.Sims()
 	if _, err := r.Lifetime(v); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(r.suites); got != 1 {
+	if got := r.Sims(); got != before {
+		t.Errorf("memoised Lifetime ran %d extra sims", got-before)
+	}
+	if got := r.suiteFlight.Len(); got != 1 {
 		t.Errorf("suite cache has %d entries, want 1", got)
 	}
 

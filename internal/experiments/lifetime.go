@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -151,15 +152,27 @@ type Table3Result struct {
 	Rows []LifetimeResult // one per variant, in Variants() order
 }
 
-// Table3 runs all four variants' suites.
+// Table3 runs all four variants' suites. The variants fan out concurrently
+// — each Lifetime call deduplicates through the Runner's suite singleflight
+// and its simulations gate on the shared pool — and the rows land in
+// Variants() order.
 func (r *Runner) Table3() (Table3Result, error) {
-	var out Table3Result
-	for _, v := range Variants() {
-		lr, err := r.Lifetime(v)
+	variants := Variants()
+	out := Table3Result{Rows: make([]LifetimeResult, len(variants))}
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			out.Rows[i], errs[i] = r.Lifetime(v)
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return Table3Result{}, err
 		}
-		out.Rows = append(out.Rows, lr)
 	}
 	return out, nil
 }

@@ -26,46 +26,53 @@ type Table2Row struct {
 
 // Table2 characterises all 22 applications on the single-core configuration
 // (one 2MB L3 bank, 256KB L2), reproducing Table II / Figure 2 / Figure 5.
+// The applications characterise in parallel on the Runner's pool — each on
+// its own single-core System — with rows collected in AppNames order.
 func (r *Runner) Table2() ([]Table2Row, error) {
-	if r.table2 != nil {
-		return r.table2, nil
-	}
-	var rows []Table2Row
-	for _, name := range trace.AppNames() {
-		prof, err := trace.ProfileFor(name)
-		if err != nil {
-			return nil, err
-		}
-		cfg := sim.CharacterisationConfig()
-		cfg.Seed = r.P.Seed
-		s, err := sim.New(cfg, []trace.Profile{prof})
-		if err != nil {
-			return nil, err
-		}
-		r.logf("characterising %-12s (%d instr)", name, r.P.CharInstr)
-		res, err := s.RunMeasured(r.P.CharWarmup, r.P.CharInstr)
-		if err != nil {
-			return nil, fmt.Errorf("characterising %s: %w", name, err)
-		}
-		ctr := s.Counters(0)
-		hit := 0.0
-		if acc := ctr.LLCHits + ctr.LLCMisses; acc > 0 {
-			hit = float64(ctr.LLCHits) / float64(acc)
-		}
-		rows = append(rows, Table2Row{
-			App:                name,
-			Class:              prof.Intensity().String(),
-			WPKI:               res.WPKI[0],
-			MPKI:               res.MPKI[0],
-			HitRate:            hit,
-			IPC:                res.IPC[0],
-			Paper:              prof.Paper,
-			NonCriticalLoadPct: 100 * res.NonCriticalLoadFrac[0],
-			PredAccuracyPct:    100 * res.PredictorAccuracy[0],
+	return r.table2Flight.Do("table2", func() ([]Table2Row, error) {
+		names := trace.AppNames()
+		rows := make([]Table2Row, len(names))
+		err := r.pool.Map(len(names), func(i int) error {
+			name := names[i]
+			prof, err := trace.ProfileFor(name)
+			if err != nil {
+				return err
+			}
+			cfg := sim.CharacterisationConfig()
+			cfg.Seed = r.P.Seed
+			s, err := sim.New(cfg, []trace.Profile{prof})
+			if err != nil {
+				return err
+			}
+			r.logf("char", "characterising %-12s (%d instr)", name, r.P.CharInstr)
+			res, err := s.RunMeasured(r.P.CharWarmup, r.P.CharInstr)
+			if err != nil {
+				return fmt.Errorf("characterising %s: %w", name, err)
+			}
+			r.sims.Add(1)
+			ctr := s.Counters(0)
+			hit := 0.0
+			if acc := ctr.LLCHits + ctr.LLCMisses; acc > 0 {
+				hit = float64(ctr.LLCHits) / float64(acc)
+			}
+			rows[i] = Table2Row{
+				App:                name,
+				Class:              prof.Intensity().String(),
+				WPKI:               res.WPKI[0],
+				MPKI:               res.MPKI[0],
+				HitRate:            hit,
+				IPC:                res.IPC[0],
+				Paper:              prof.Paper,
+				NonCriticalLoadPct: 100 * res.NonCriticalLoadFrac[0],
+				PredAccuracyPct:    100 * res.PredictorAccuracy[0],
+			}
+			return nil
 		})
-	}
-	r.table2 = rows
-	return rows, nil
+		if err != nil {
+			return nil, err
+		}
+		return rows, nil
+	})
 }
 
 // RenderTable2 prints the measured-vs-paper characterisation table.

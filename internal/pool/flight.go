@@ -1,0 +1,53 @@
+package pool
+
+import "sync"
+
+// Flight memoises the result of an expensive computation per key and
+// deduplicates concurrent requests for the same key: the first caller
+// executes fn, every caller that arrives while it runs blocks and shares
+// the same result, and later callers get the memoised value without
+// blocking. A call that errors is forgotten so a subsequent caller can
+// retry. The zero value is ready to use.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the value for key, computing it with fn at most once at a
+// time. Successful results are retained for the lifetime of the Flight.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// Len reports how many keys hold a memoised (or in-flight) value.
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -1,0 +1,98 @@
+// Package pool provides the concurrency substrate of the parallel
+// experiment harness: a bounded worker pool whose slots are shared by every
+// concurrently-launched experiment, and a generic singleflight-style Flight
+// that memoises expensive results per key while deduplicating concurrent
+// computations of the same key.
+//
+// The determinism contract is positional: Map hands every task its index
+// and the caller writes results into a pre-sized slice at that index, so
+// aggregation and rendering happen in task order no matter which worker
+// finished first. Simulations themselves must not share mutable state —
+// each task constructs its own sim.System — which is what makes the
+// parallel output byte-identical to the serial one.
+package pool
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// DefaultWorkers resolves the worker count for a pool: an explicit positive
+// request wins, then the RENUCA_WORKERS environment variable, then
+// runtime.GOMAXPROCS(0) (one worker per schedulable CPU).
+func DefaultWorkers(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if v := os.Getenv("RENUCA_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded set of execution slots. A single Pool is shared across
+// every suite and characterisation run a Runner launches, so total
+// simulation concurrency — and therefore peak memory — is capped at Size
+// regardless of how many experiments are in flight. Coordinator goroutines
+// (per-policy, per-variant fan-out) hold no slot while they wait on their
+// leaf tasks, so nesting Map calls cannot deadlock.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New builds a pool with the given number of slots (minimum 1).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Size returns the slot count.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Map runs fn(0), fn(1), … fn(n-1), each occupying one pool slot, and waits
+// for all of them. The first error cancels the remainder: tasks that have
+// not started yet are skipped, tasks already running drain normally, and
+// the error reported is the one with the lowest index among those observed.
+// fn must confine its side effects to index i of the caller's result slice.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+		stopped  bool
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			defer func() { <-p.sem }()
+			mu.Lock()
+			skip := stopped
+			mu.Unlock()
+			if skip {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				stopped = true
+				if i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

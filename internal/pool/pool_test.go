@@ -1,0 +1,206 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(7); got != 7 {
+		t.Errorf("explicit request: got %d, want 7", got)
+	}
+	t.Setenv("RENUCA_WORKERS", "3")
+	if got := DefaultWorkers(0); got != 3 {
+		t.Errorf("env override: got %d, want 3", got)
+	}
+	if got := DefaultWorkers(2); got != 2 {
+		t.Errorf("explicit beats env: got %d, want 2", got)
+	}
+	t.Setenv("RENUCA_WORKERS", "garbage")
+	if got := DefaultWorkers(0); got < 1 {
+		t.Errorf("garbage env: got %d, want >= 1", got)
+	}
+}
+
+func TestNewClampsToOne(t *testing.T) {
+	if got := New(0).Size(); got != 1 {
+		t.Errorf("Size() = %d, want 1", got)
+	}
+	if got := New(-5).Size(); got != 1 {
+		t.Errorf("Size() = %d, want 1", got)
+	}
+}
+
+func TestMapIndexesResults(t *testing.T) {
+	p := New(4)
+	const n = 50
+	out := make([]int, n)
+	err := p.Map(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRespectsBound(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers)
+		var cur, max atomic.Int64
+		err := p.Map(20, func(int) error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := max.Load(); got > int64(workers) {
+			t.Errorf("workers=%d: observed %d concurrent tasks", workers, got)
+		}
+	}
+}
+
+func TestMapFirstErrorWinsAndSkipsRest(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := p.Map(100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Tasks queued behind the failure must have been skipped (the exact
+	// count depends on scheduling, but nowhere near all 100 may run after
+	// an error with only 2 slots).
+	if ran.Load() == 100 {
+		t.Error("no task was skipped after the error")
+	}
+}
+
+func TestMapPrefersLowestIndexError(t *testing.T) {
+	// Give every task a slot and hold them at a barrier until all have
+	// started, so all 8 errors are observed; the reported one must then be
+	// task 0's.
+	p := New(8)
+	var started sync.WaitGroup
+	started.Add(8)
+	err := p.Map(8, func(i int) error {
+		started.Done()
+		started.Wait()
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); got != "task 0 failed" {
+		t.Errorf("err = %q, want task 0's error", got)
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	if err := New(2).Map(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSharedAcrossConcurrentCalls(t *testing.T) {
+	// Two concurrent Maps share one pool: the bound holds globally.
+	p := New(2)
+	var cur, max atomic.Int64
+	task := func(int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Map(10, task); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > 2 {
+		t.Errorf("observed %d concurrent tasks across Maps, want <= 2", got)
+	}
+}
+
+func TestFlightMemoisesAndDeduplicates(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	compute := func() (int, error) {
+		calls.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return 42, nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := f.Do("k", compute)
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	// Memoised: a later call must not recompute.
+	if v, _ := f.Do("k", func() (int, error) { t.Error("recomputed"); return 0, nil }); v != 42 {
+		t.Errorf("memoised value = %d", v)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+}
+
+func TestFlightForgetsErrors(t *testing.T) {
+	var f Flight[string, int]
+	boom := errors.New("boom")
+	if _, err := f.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("failed call retained: Len = %d", f.Len())
+	}
+	v, err := f.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+}

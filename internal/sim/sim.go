@@ -113,8 +113,12 @@ type CoreCounters struct {
 	Writebacks uint64 // L2 dirty evictions this core pushed to the LLC
 }
 
-// System is one simulated CMP instance. Not safe for concurrent use; run
-// independent Systems in separate goroutines if parallel sweeps are needed.
+// System is one simulated CMP instance. A System is single-threaded — none
+// of its methods may be called concurrently — but independent Systems share
+// no mutable state (trace profile tables are read-only), so running many of
+// them in parallel is safe and is exactly what the experiment harness does:
+// internal/pool confines each System to one worker goroutine for its whole
+// lifetime (see core.RunSuiteOn).
 type System struct {
 	cfg   Config
 	cores []*cpu.Core
