@@ -1,16 +1,22 @@
 # Verification targets. `make check` is the full tier-1 + race gate; the
 # parallel harness (internal/pool, the experiment Runner's fan-out) must
-# stay race-clean, so the race detector is part of the standard gate.
+# stay race-clean, so the race detector is part of the standard gate, and
+# renuca-lint enforces the determinism/seed/stats invariants statically.
 
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet lint test race check bench
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain static analysis: nondeterminism, maporder, statsmerge, seedflow,
+# poolslot. See README "Determinism invariants".
+lint:
+	$(GO) run ./cmd/renuca-lint ./...
 
 test:
 	$(GO) test ./...
@@ -20,7 +26,7 @@ test:
 race:
 	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/experiments/ .
 
-check: build vet test race
+check: build vet lint test race
 
 # One regeneration of every experiment as testing.B benchmarks.
 bench:

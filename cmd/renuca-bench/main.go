@@ -70,7 +70,7 @@ func main() {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism harness banner reports wall-clock and sims/sec
 	// Launch every experiment at once: each goroutine only coordinates —
 	// its simulations gate on the Runner's shared worker pool, and shared
 	// suites run once via singleflight. Results print in paper order as
@@ -94,7 +94,7 @@ func main() {
 		fmt.Printf("==== %s ====\n%s\n", e.Title, outs[i])
 	}
 	if !*quiet {
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow nondeterminism harness banner reports wall-clock and sims/sec
 		sims := r.Sims()
 		fmt.Fprintf(os.Stderr, "# total %s  (%d sims, %.1f sims/sec, workers=%d)\n",
 			elapsed.Round(time.Millisecond), sims,

@@ -1,0 +1,198 @@
+// Command renuca-lint runs the project's determinism and stats-invariant
+// analyzers (package internal/lint) over the module and reports violations
+// as file:line:col diagnostics. It exits 0 on a clean tree, 1 when any
+// diagnostic is reported, and 2 on usage or load errors, so `make check`
+// can gate on it.
+//
+// Usage:
+//
+//	renuca-lint ./...                       # whole module (the normal gate)
+//	renuca-lint ./internal/experiments      # report one package only
+//	renuca-lint -disable maporder ./...     # all but one analyzer
+//	renuca-lint -enable seedflow ./...      # exactly one analyzer
+//	renuca-lint -json ./...                 # machine-readable diagnostics
+//	renuca-lint -list                       # analyzer names and docs
+//
+// The whole module is always loaded and type-checked (whole-program checks
+// like statsmerge need every reference site); package arguments only filter
+// which diagnostics are reported. Suppress an intentional exception at its
+// line (or the line above) with:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.NewAnalyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-lint:", err)
+		os.Exit(2)
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-lint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.RunAnalyzers(loader.Fset, pkgs, analyzers)
+	diags = filterToArgs(diags, flag.Args(), moduleDir)
+
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "renuca-lint: %d violation(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies -enable/-disable to the full analyzer set.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	all := lint.NewAnalyzers()
+	known := make(map[string]bool)
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(lint.AnalyzerNames(), ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var picked []*lint.Analyzer
+	for _, a := range all {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return picked, nil
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterToArgs keeps diagnostics under the requested package directories.
+// "./..." (or no argument) keeps everything.
+func filterToArgs(diags []lint.Diagnostic, args []string, moduleDir string) []lint.Diagnostic {
+	var dirs []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return diags
+		}
+		dirs = append(dirs, filepath.Clean(strings.TrimSuffix(arg, "/...")))
+	}
+	if len(dirs) == 0 {
+		return diags
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return diags
+	}
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		rel, err := filepath.Rel(cwd, d.File)
+		if err != nil {
+			continue
+		}
+		for _, dir := range dirs {
+			if prefix := dir + string(filepath.Separator); strings.HasPrefix(rel, prefix) || filepath.Dir(rel) == dir {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}

@@ -173,7 +173,7 @@ func runAllPolicies(profs []trace.Profile, instr, warmup, seed uint64, threshold
 	policies := nuca.Policies()
 	results := make([]sim.Result, len(policies))
 	pl := pool.New(pool.DefaultWorkers(workers))
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism table header reports wall-clock; results are seed-pure
 	err := pl.Map(len(policies), func(i int) error {
 		cfg := sim.DefaultConfig(policies[i])
 		cfg.Seed = seed
@@ -195,7 +195,8 @@ func runAllPolicies(profs []trace.Profile, instr, warmup, seed uint64, threshold
 	}
 
 	fmt.Printf("all policies, instr/core=%d workers=%d wall=%s\n\n",
-		instr, pl.Size(), time.Since(start).Round(time.Millisecond))
+		instr, pl.Size(), //lint:allow nondeterminism table header reports wall-clock; results are seed-pure
+		time.Since(start).Round(time.Millisecond))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tmean IPC\tmin life[y]\th-mean life[y]\twrite imbalance\tLLC writes")
 	for _, res := range results {

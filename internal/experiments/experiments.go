@@ -165,34 +165,26 @@ func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 	return r.suiteFlight.Do(v.Key, func() (map[string]core.SuiteReport, error) {
 		policies := core.Policies()
 		reports := make([]core.SuiteReport, len(policies))
-		errs := make([]error, len(policies))
-		var wg sync.WaitGroup
-		for i, p := range policies {
-			wg.Add(1)
-			// Coordinator goroutine per policy: holds no pool slot while
-			// its workload simulations queue, so nesting cannot deadlock.
-			go func(i int, p core.Policy) {
-				defer wg.Done()
-				o := core.DefaultOptions(p)
-				o.InstrPerCore = r.P.InstrPerCore
-				o.Warmup = r.P.Warmup
-				o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
-				v.Mod(&o)
-				r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
-				sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
-				if err != nil {
-					errs[i] = fmt.Errorf("variant %s: %w", v.Key, err)
-					return
-				}
-				r.sims.Add(uint64(len(sr.Reports)))
-				reports[i] = sr
-			}(i, p)
-		}
-		wg.Wait()
-		for _, err := range errs {
+		// One coordinator per policy: pool.Coordinate holds no pool slot
+		// while the workload simulations queue, so nesting cannot deadlock.
+		err := pool.Coordinate(len(policies), func(i int) error {
+			p := policies[i]
+			o := core.DefaultOptions(p)
+			o.InstrPerCore = r.P.InstrPerCore
+			o.Warmup = r.P.Warmup
+			o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
+			v.Mod(&o)
+			r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
+			sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("variant %s: %w", v.Key, err)
 			}
+			r.sims.Add(uint64(len(sr.Reports)))
+			reports[i] = sr
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		set := make(map[string]core.SuiteReport, len(policies))
 		for i, p := range policies {

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -159,20 +159,13 @@ type Table3Result struct {
 func (r *Runner) Table3() (Table3Result, error) {
 	variants := Variants()
 	out := Table3Result{Rows: make([]LifetimeResult, len(variants))}
-	errs := make([]error, len(variants))
-	var wg sync.WaitGroup
-	for i, v := range variants {
-		wg.Add(1)
-		go func(i int, v Variant) {
-			defer wg.Done()
-			out.Rows[i], errs[i] = r.Lifetime(v)
-		}(i, v)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Table3Result{}, err
-		}
+	err := pool.Coordinate(len(variants), func(i int) error {
+		var err error
+		out.Rows[i], err = r.Lifetime(variants[i])
+		return err
+	})
+	if err != nil {
+		return Table3Result{}, err
 	}
 	return out, nil
 }

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newMapOrder flags order-dependent effects inside `range` over a map. Go
+// randomises map iteration order, so a loop body that appends to an outer
+// slice, writes formatted output, or accumulates floating-point values
+// produces run-to-run-different results — exactly the class of bug that
+// silently breaks the byte-identical-output guarantee of the parallel
+// harness. Keyed writes (m2[k] = v), integer accumulation, and the
+// canonical collect-keys-then-sort idiom are order-independent and pass.
+func newMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flags slice appends, formatted output, and float accumulation inside range-over-map",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			checkMapRanges(p, f)
+		}
+	}
+	return a
+}
+
+func checkMapRanges(p *Pass, f *ast.File) {
+	info := p.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, collected := range reportOrderDependentEffects(p, rs) {
+			if !sortedAfter(info, f, rs, collected) {
+				p.Reportf(rs.Pos(), "map keys collected into %q but never sorted before use; sort them so iteration consumers see a deterministic order", collected.Name())
+			}
+		}
+		return true
+	})
+}
+
+// keyCollectTarget recognises the canonical sort idiom's first half — an
+// append whose sole appended value is the range key — and returns the
+// destination slice variable, else nil. Control flow around the append
+// (filtering ifs, nested blocks) is irrelevant: collection order never
+// matters once the slice is sorted.
+func keyCollectTarget(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr, call *ast.CallExpr) *types.Var {
+	if len(call.Args) != 2 {
+		return nil
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || info.Uses[arg] == nil || info.Uses[arg] != info.Defs[keyIdent] {
+		return nil
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := objectOf(info, id).(*types.Var)
+	return v
+}
+
+// sortedAfter reports whether a statement after rs in the enclosing block
+// passes the collected slice to a sort.* or slices.* call.
+func sortedAfter(info *types.Info, f *ast.File, rs *ast.RangeStmt, keys *types.Var) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		idx := -1
+		for i, stmt := range block.List {
+			if stmt == ast.Stmt(rs) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return true
+		}
+		for _, stmt := range block.List[idx+1:] {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && objectOf(info, id) == keys {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportOrderDependentEffects walks a map-range body for effects whose
+// result depends on iteration order, and returns key-collection slices that
+// the caller must verify get sorted afterwards.
+func reportOrderDependentEffects(p *Pass, rs *ast.RangeStmt) []*types.Var {
+	var collected []*types.Var
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			collected = append(collected, checkAssign(p, rs, v)...)
+		case *ast.CallExpr:
+			checkOutputCall(p, rs, v)
+		}
+		return true
+	})
+	return collected
+}
+
+func checkAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) []*types.Var {
+	info := p.Pkg.Info
+	var collected []*types.Var
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if keys := keyCollectTarget(info, rs, as.Lhs[i], call); keys != nil {
+				collected = append(collected, keys)
+				continue
+			}
+			if target := outerTarget(info, as.Lhs[i], rs); target != "" {
+				p.Reportf(as.Pos(), "append to %s inside range over a map: element order varies run to run; collect and sort the keys first", target)
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		tv, ok := info.Types[lhs]
+		if !ok {
+			return nil
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			return nil
+		}
+		if target := outerTarget(info, lhs, rs); target != "" {
+			p.Reportf(as.Pos(), "floating-point accumulation into %s inside range over a map: summation order changes rounding; sort the keys first", target)
+		}
+	}
+	return collected
+}
+
+// outerTarget returns a printable name when lhs writes through a variable
+// declared outside the range statement (a plain identifier or a field
+// chain). Index expressions are treated as keyed writes and skipped: m[k]
+// assignments are order-independent.
+func outerTarget(info *types.Info, lhs ast.Expr, rs *ast.RangeStmt) string {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := objectOf(info, v)
+		if obj != nil && !declaredWithin(obj, rs.Pos(), rs.End()) {
+			return v.Name
+		}
+	case *ast.SelectorExpr:
+		if root := rootIdent(v.X); root != nil {
+			obj := objectOf(info, root)
+			if obj != nil && !declaredWithin(obj, rs.Pos(), rs.End()) {
+				return root.Name + "." + v.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// checkOutputCall flags writes of formatted output (fmt printers, Builder
+// and Buffer writes) issued while iterating a map.
+func checkOutputCall(p *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg().Path() == "fmt" && sig != nil && sig.Recv() == nil {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			p.Reportf(call.Pos(), "fmt.%s inside range over a map writes lines in random order; sort the keys first", fn.Name())
+		}
+		return
+	}
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
+	isWriterType := (pkgPath == "strings" && typeName == "Builder") || (pkgPath == "bytes" && typeName == "Buffer")
+	if !isWriterType {
+		return
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		p.Reportf(call.Pos(), "%s.%s.%s inside range over a map appends output in random order; sort the keys first", pkgPath, typeName, fn.Name())
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

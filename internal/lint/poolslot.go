@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// newPoolSlot keeps goroutine fan-out in the experiment layer on the
+// bounded pool. A bare `go` statement in internal/experiments or
+// internal/core bypasses internal/pool's slot cap (unbounded concurrent
+// simulations, unbounded peak memory) and its lowest-index-first-error
+// cancellation. Use pool.Map for leaf work and pool.Coordinate for
+// coordinator fan-out; a coordinator that genuinely must hand-roll its
+// goroutines documents why via //lint:allow poolslot <reason>.
+//
+// _test.go files are exempt: tests hammer the Runner from raw goroutines
+// on purpose.
+func newPoolSlot() *Analyzer {
+	a := &Analyzer{
+		Name: "poolslot",
+		Doc:  "bare go statements in internal/experiments and internal/core must route through internal/pool",
+	}
+	a.Run = func(p *Pass) {
+		path := strings.TrimSuffix(p.Pkg.Path, ".test")
+		if !strings.HasSuffix(path, "/internal/experiments") && !strings.HasSuffix(path, "/internal/core") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(gs.Pos(), "bare goroutine bypasses internal/pool's bounded slots and first-error cancellation; use pool.Map (leaf work) or pool.Coordinate (coordinator fan-out)")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newSeedFlow enforces the seed-derivation discipline in simulation
+// packages: the seed material handed to a math/rand source constructor
+// (rand.NewSource, rand/v2's NewPCG and NewChaCha8) must data-flow from
+// core.DeriveSeed or from a caller-provided value (a function parameter or
+// method receiver, including fields read off them, e.g. cfg.Seed). A seed
+// that bottoms out in a literal or package-level constant pins a private
+// random stream outside the (Seed, labels…) derivation tree, so two runs
+// that should be independent share it — and a run that should be
+// reproducible from its derived seed is not.
+//
+// _test.go files are exempt: fixed seeds in tests are how regression
+// expectations stay stable.
+func newSeedFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "seedflow",
+		Doc:  "rand source seeds in simulation packages must derive from core.DeriveSeed or a parameter",
+	}
+	a.Run = func(p *Pass) {
+		if !p.InSimPackage() {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			sf := &seedFlow{pass: p}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sf.checkFunc(funcScope{
+					params: fieldListObjects(p.Pkg.Info, fd.Recv, fd.Type.Params),
+					locals: localInitializers(p.Pkg.Info, fd.Body),
+				}, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+type funcScope struct {
+	params map[types.Object]bool
+	locals map[types.Object]ast.Expr
+}
+
+type seedFlow struct {
+	pass   *Pass
+	scopes []funcScope
+}
+
+// checkFunc walks one function body with scope pushed, recursing into
+// function literals with their own scope frames so closures see enclosing
+// parameters and locals.
+func (sf *seedFlow) checkFunc(scope funcScope, body *ast.BlockStmt) {
+	info := sf.pass.Pkg.Info
+	sf.scopes = append(sf.scopes, scope)
+	defer func() { sf.scopes = sf.scopes[:len(sf.scopes)-1] }()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			sf.checkFunc(funcScope{
+				params: fieldListObjects(info, nil, v.Type.Params),
+				locals: localInitializers(info, v.Body),
+			}, v.Body)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(info, v)
+			if fn != nil && fn.Pkg() != nil && isRandPkg(fn.Pkg().Path()) && seededConstructors[fn.Name()] {
+				for _, arg := range v.Args {
+					if !sf.derived(arg, 4) {
+						sf.pass.Reportf(v.Pos(), "rand.%s seed does not derive from core.DeriveSeed or a caller-provided value; thread it from DeriveSeed(base, labels...) or a parameter", fn.Name())
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (sf *seedFlow) isParam(obj types.Object) bool {
+	for _, s := range sf.scopes {
+		if s.params[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func (sf *seedFlow) localInit(obj types.Object) ast.Expr {
+	for i := len(sf.scopes) - 1; i >= 0; i-- {
+		if init, ok := sf.scopes[i].locals[obj]; ok {
+			return init
+		}
+	}
+	return nil
+}
+
+// derived reports whether expr plausibly carries seed material from the
+// discipline: it mentions a DeriveSeed call or a parameter/receiver-rooted
+// value, directly or through a short chain of local assignments. Constant
+// expressions never qualify, and unknown sources fail closed (flagged), so
+// the escape hatch for genuinely exotic seeding is //lint:allow.
+func (sf *seedFlow) derived(expr ast.Expr, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	info := sf.pass.Pkg.Info
+	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+		return false
+	}
+	ok := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(v.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "DeriveSeed" {
+					ok = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "DeriveSeed" {
+					ok = true
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[v]
+			if obj == nil {
+				return true
+			}
+			if sf.isParam(obj) {
+				ok = true
+				return false
+			}
+			if init := sf.localInit(obj); init != nil && sf.derived(init, depth-1) {
+				ok = true
+				return false
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// fieldListObjects collects the declared objects of receiver + parameter
+// lists.
+func fieldListObjects(info *types.Info, lists ...*ast.FieldList) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	return objs
+}
+
+// localInitializers indexes single-assignment initializers in a function
+// body: for `x := expr`, `var x = expr`, and `x = expr` the map records the
+// last RHS syntactically assigned to x. Good enough to trace the one-hop
+// `seed := ...; rand.NewSource(seed)` shape; re-assignment games fall back
+// to "not derived".
+func localInitializers(info *types.Info, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	inits := make(map[types.Object]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // inner literals index their own frame
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if (v.Tok == token.DEFINE || v.Tok == token.ASSIGN) && len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := objectOf(info, id); obj != nil {
+						inits[obj] = v.Rhs[i]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if i < len(v.Values) {
+					if obj := info.Defs[name]; obj != nil {
+						inits[obj] = v.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	return inits
+}

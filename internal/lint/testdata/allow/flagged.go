@@ -1,0 +1,12 @@
+//lint:as repro/internal/sim
+
+// Package fixture exercises the //lint:allow annotation contract: a
+// reasonless allow is malformed, reported, and does not suppress.
+package fixture
+
+import "time"
+
+func badAllow() time.Time {
+	//lint:allow nondeterminism
+	return time.Now()
+}

@@ -1,0 +1,76 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sortedReport is the canonical idiom: collect the keys, sort them, then
+// iterate the sorted slice for all order-dependent work.
+func sortedReport(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v\n", k, m[k])
+	}
+	return b.String()
+}
+
+// filteredCollect still counts as key collection even under control flow,
+// because the subsequent sort erases collection order.
+func filteredCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if m[k] > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intAccumulation is order-independent: integer addition is associative.
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedWrites land each entry at its own key — order cannot show.
+func keyedWrites(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// localAccumulation appends and sums into variables declared inside the
+// loop body, then stores them keyed: per-key work is order-independent.
+func localAccumulation(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// sliceRanges are not map ranges; ordered iteration may do anything.
+func sliceRanges(xs []float64) (float64, string) {
+	var total float64
+	var b strings.Builder
+	for _, x := range xs {
+		total += x
+		fmt.Fprintf(&b, "%v\n", x)
+	}
+	return total, b.String()
+}

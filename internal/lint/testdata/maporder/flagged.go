@@ -1,0 +1,65 @@
+//lint:as repro/internal/experiments
+
+// Package fixture is the maporder analyzer's negative corpus.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+func appendValuesInMapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out`
+	}
+	return out
+}
+
+func printInMapOrder(m map[string]float64) {
+	for k, v := range m {
+		fmt.Printf("%s=%v\n", k, v) // want `fmt.Printf`
+	}
+}
+
+func buildInMapOrder(m map[string]float64) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString`
+	}
+	return b.String()
+}
+
+func fprintToStruct(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%v\n", k, v) // want `fmt.Fprintf`
+	}
+	return b.String()
+}
+
+func sumFloatsInMapOrder(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation`
+	}
+	return total
+}
+
+type accumulator struct{ total float64 }
+
+func fieldAccumulate(m map[string]float64) accumulator {
+	var acc accumulator
+	for _, v := range m {
+		acc.total += v // want `floating-point accumulation`
+	}
+	return acc
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,31 @@
+//lint:as repro/internal/sim
+
+// Package fixture is the nondeterminism analyzer's negative corpus: every
+// want comment marks a line the analyzer must flag.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time.Now`
+	return time.Since(start) // want `time.Since`
+}
+
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)                 // want `process-global`
+	f := rand.Float64()                // want `process-global`
+	rand.Shuffle(n, func(i, j int) {}) // want `process-global`
+	return n, f
+}
+
+func literalSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `literal seed`
+}
+
+func constExprSeeded() *rand.Rand {
+	const base = 7
+	return rand.New(rand.NewSource(base * 1000)) // want `literal seed`
+}

@@ -1,0 +1,19 @@
+package fixture
+
+// serial fan-out needs no goroutines at all.
+func serial(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// annotatedCoordinator documents why it must hand-roll its goroutine.
+func annotatedCoordinator(done chan<- struct{}, fns []func()) {
+	//lint:allow poolslot drains a channel the pool API cannot express
+	go func() {
+		for _, fn := range fns {
+			fn()
+		}
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,23 @@
+//lint:as repro/internal/experiments
+
+// Package fixture is the poolslot analyzer's negative corpus: goroutine
+// launches in the experiment layer that bypass internal/pool.
+package fixture
+
+import "sync"
+
+func bareFanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `bare goroutine`
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func fireAndForget(fn func()) {
+	go fn() // want `bare goroutine`
+}

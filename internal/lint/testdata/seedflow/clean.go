@@ -1,0 +1,44 @@
+package fixture
+
+import "math/rand"
+
+// DeriveSeed stands in for core.DeriveSeed; the analyzer matches the
+// callee name so fixtures stay free of module imports.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	h := base
+	for _, l := range labels {
+		h = h*1099511628211 + uint64(len(l))
+	}
+	return h
+}
+
+func derivedDirectly(base uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(DeriveSeed(base, "trace"))))
+}
+
+func derivedViaLocal(base uint64) *rand.Rand {
+	seed := int64(DeriveSeed(base, "appgen"))
+	return rand.New(rand.NewSource(seed))
+}
+
+func fromParameter(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type genConfig struct{ Seed int64 }
+
+func fromConfigField(cfg genConfig) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+type generator struct{ cfg genConfig }
+
+func (g *generator) fromReceiver() *rand.Rand {
+	return rand.New(rand.NewSource(g.cfg.Seed))
+}
+
+func insideClosure(base uint64) func() *rand.Rand {
+	return func() *rand.Rand {
+		return rand.New(rand.NewSource(int64(DeriveSeed(base, "closure"))))
+	}
+}

@@ -1,0 +1,28 @@
+//lint:as repro/internal/trace
+
+// Package fixture is the seedflow analyzer's negative corpus: rand sources
+// whose seed material does not descend from core.DeriveSeed or a
+// caller-provided value.
+package fixture
+
+import "math/rand"
+
+func literalSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `does not derive`
+}
+
+func constSeeded() *rand.Rand {
+	const seed = 7
+	return rand.New(rand.NewSource(seed)) // want `does not derive`
+}
+
+func localLiteral() *rand.Rand {
+	s := int64(99)
+	return rand.New(rand.NewSource(s)) // want `does not derive`
+}
+
+var packageSeed int64 = 1234
+
+func packageLevelSeed() *rand.Rand {
+	return rand.New(rand.NewSource(packageSeed)) // want `does not derive`
+}

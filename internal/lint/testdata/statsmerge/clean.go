@@ -1,0 +1,33 @@
+package fixture
+
+// WearCounts is fully consumed by its merge function.
+type WearCounts struct {
+	Writes uint64
+	Reads  uint64
+}
+
+func (w *WearCounts) Merge(o WearCounts) {
+	w.Writes += o.Writes
+	w.Reads += o.Reads
+}
+
+// SnapshotCounts is consumed through keyed composite-literal construction,
+// which counts as a reference just like a selector read.
+type SnapshotCounts struct {
+	Total float64
+	Peak  float64
+}
+
+func snapshot(total, peak float64) SnapshotCounts {
+	return SnapshotCounts{Total: total, Peak: peak}
+}
+
+// plainConfig is not Stats-like (name carries no Stats/Counters/Counts
+// suffix), so its unread numeric fields are none of this analyzer's
+// business.
+type plainConfig struct {
+	Threshold float64
+	Ways      int
+}
+
+var _ = plainConfig{}

@@ -1,0 +1,30 @@
+//lint:as repro/internal/nuca
+
+// Package fixture is the statsmerge analyzer's negative corpus: counters
+// declared on Stats-like structs but never read by any merge, snapshot, or
+// render code.
+package fixture
+
+// Stats has two live counters and one that merge/render forgot.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Dropped uint64 // want `Dropped`
+	Label   string // non-numeric: not a counter, never flagged
+}
+
+// Merge folds another Stats in — but loses Dropped.
+func (s *Stats) Merge(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+// BankCounters shows slice-valued counters are held to the same contract.
+type BankCounters struct {
+	Writes    []uint64
+	Evictions []uint64 // want `Evictions`
+}
+
+func render(b BankCounters) int {
+	return len(b.Writes)
+}

@@ -55,6 +55,42 @@ func New(workers int) *Pool {
 // Size returns the slot count.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// Coordinate runs fn(0), fn(1), … fn(n-1) concurrently WITHOUT occupying
+// pool slots and waits for all of them, returning the error with the lowest
+// index. It exists for coordinator fan-out — per-policy or per-variant
+// goroutines whose leaf simulations gate on a shared Pool via Map. A
+// coordinator must not hold a slot while its children queue for slots, or
+// nested fan-out could deadlock; renuca-lint's poolslot analyzer therefore
+// requires all goroutine launches in the experiment layer to route through
+// either Map or Coordinate.
+func Coordinate(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		//lint:allow poolslot Coordinate IS the sanctioned coordinator launch point
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Map runs fn(0), fn(1), … fn(n-1), each occupying one pool slot, and waits
 // for all of them. The first error cancels the remainder: tasks that have
 // not started yet are skipped, tasks already running drain normally, and

@@ -158,6 +158,48 @@ func TestMapSharedAcrossConcurrentCalls(t *testing.T) {
 	}
 }
 
+func TestCoordinateRunsAllTasks(t *testing.T) {
+	const n = 16
+	out := make([]int, n)
+	if err := Coordinate(n, func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	if err := Coordinate(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatePrefersLowestIndexError(t *testing.T) {
+	// Unlike Map, Coordinate never skips: every task runs even after an
+	// error, and the lowest-index error is the one reported.
+	var ran atomic.Int64
+	var started sync.WaitGroup
+	started.Add(8)
+	err := Coordinate(8, func(i int) error {
+		started.Done()
+		started.Wait()
+		ran.Add(1)
+		if i%2 == 1 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 1 failed" {
+		t.Errorf("err = %v, want task 1's error", err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Errorf("ran %d tasks, want all 8", got)
+	}
+}
+
 func TestFlightMemoisesAndDeduplicates(t *testing.T) {
 	var f Flight[string, int]
 	var calls atomic.Int64
