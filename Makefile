@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check bench
+.PHONY: build vet lint test race check bench bench-full profile
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,20 @@ race:
 
 check: build vet lint test race
 
-# One regeneration of every experiment as testing.B benchmarks.
+# Hot-path microbenchmarks in short mode: per-package probe costs plus the
+# end-to-end single-simulation baseline. CI runs this as a smoke.
 bench:
+	$(GO) test -run='^$$' -benchtime=1x \
+		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim' \
+		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim
+
+# One regeneration of every experiment as testing.B benchmarks.
+bench-full:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# CPU+heap profile of a representative serial run (one worker, so the
+# per-simulation hot path dominates). Inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) build -o /tmp/renuca-bench ./cmd/renuca-bench
+	/tmp/renuca-bench -exp fig4 -workers 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
