@@ -45,12 +45,30 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits()) / float64(a)
 }
 
+// way is one line frame, packed to 16 bytes so an 8-way set spans two CPU
+// cache lines instead of three: the tag plus a meta word holding the LRU
+// stamp in the upper bits and the dirty/valid flags in the low two. LRU
+// stamps are unique per cache (the tick counter increments on every touch),
+// so 62 bits never wrap in practice.
 type way struct {
-	tag   uint64
-	lru   uint64
-	valid bool
-	dirty bool
+	tag  uint64
+	meta uint64 // lru<<2 | dirty<<1 | valid
 }
+
+const (
+	wayValid = 1 << 0
+	wayDirty = 1 << 1
+	lruShift = 2
+
+	// invalidTag marks empty/invalidated frames so probe loops need a
+	// single tag compare per way: simulated physical addresses stay below
+	// 2^41 (16 cores above bit 36), so no reachable tag equals ^0.
+	invalidTag = ^uint64(0)
+)
+
+func (w way) valid() bool { return w.meta&wayValid != 0 }
+func (w way) dirty() bool { return w.meta&wayDirty != 0 }
+func (w way) lru() uint64 { return w.meta >> lruShift }
 
 // Victim describes a line displaced by Fill or removed by Invalidate.
 type Victim struct {
@@ -68,6 +86,8 @@ type Cache struct {
 	sets     []way // flattened [numSets][ways]
 	numSets  uint64
 	setMask  uint64
+	setBits  uint   // log2(numSets), precomputed off the probe path
+	ways     uint64 // uint64(cfg.Ways), hoisted off the probe path
 	lineBits uint
 	tick     uint64
 	stats    Stats
@@ -97,11 +117,17 @@ func New(cfg Config) (*Cache, error) {
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		lineBits++
 	}
+	sets := make([]way, lines)
+	for i := range sets {
+		sets[i].tag = invalidTag
+	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     make([]way, lines),
+		sets:     sets,
 		numSets:  numSets,
 		setMask:  numSets - 1,
+		setBits:  uint(bitsFor(numSets)),
+		ways:     uint64(cfg.Ways),
 		lineBits: lineBits,
 	}, nil
 }
@@ -138,7 +164,7 @@ func (c *Cache) SetIndex(addr uint64) uint64 {
 
 func (c *Cache) locate(addr uint64) (setBase uint64, tag uint64) {
 	lineAddr := addr >> c.lineBits
-	return (lineAddr & c.setMask) * uint64(c.cfg.Ways), lineAddr >> uint(bitsFor(c.numSets))
+	return (lineAddr & c.setMask) * c.ways, lineAddr >> c.setBits
 }
 
 func bitsFor(n uint64) int {
@@ -163,17 +189,18 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // per-frame ReRAM wear accounting; frame is 0 and meaningless on a miss.
 func (c *Cache) LookupFrame(addr uint64, write bool) (hit bool, frame uint64) {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].tag == tag {
 			c.tick++
-			ways[i].lru = c.tick
+			meta := c.tick<<lruShift | ways[i].meta&(wayValid|wayDirty)
 			if write {
-				ways[i].dirty = true
+				meta |= wayDirty
 				c.stats.WriteHits++
 			} else {
 				c.stats.ReadHits++
 			}
+			ways[i].meta = meta
 			return true, setBase + uint64(i)
 		}
 	}
@@ -188,9 +215,9 @@ func (c *Cache) LookupFrame(addr uint64, write bool) (hit bool, frame uint64) {
 // Peek reports whether addr is present without touching recency or stats.
 func (c *Cache) Peek(addr uint64) bool {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].tag == tag {
 			return true
 		}
 	}
@@ -200,10 +227,10 @@ func (c *Cache) Peek(addr uint64) bool {
 // PeekDirty reports (present, dirty) without touching recency or stats.
 func (c *Cache) PeekDirty(addr uint64) (present, dirty bool) {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			return true, ways[i].dirty
+		if ways[i].tag == tag {
+			return true, ways[i].dirty()
 		}
 	}
 	return false, false
@@ -222,30 +249,34 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 // line was installed into, for per-frame ReRAM wear accounting.
 func (c *Cache) FillFrame(addr uint64, dirty bool) (Victim, uint64) {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	victimIdx := 0
 	for i := range ways {
-		if !ways[i].valid {
+		if !ways[i].valid() {
 			victimIdx = i
 			goto install
 		}
-		if ways[i].lru < ways[victimIdx].lru {
+		if ways[i].lru() < ways[victimIdx].lru() {
 			victimIdx = i
 		}
 	}
 install:
 	v := Victim{}
-	if ways[victimIdx].valid {
+	if ways[victimIdx].valid() {
 		v.Valid = true
-		v.Dirty = ways[victimIdx].dirty
-		v.Addr = c.reconstruct(setBase/uint64(c.cfg.Ways), ways[victimIdx].tag)
+		v.Dirty = ways[victimIdx].dirty()
+		v.Addr = c.reconstruct(setBase/c.ways, ways[victimIdx].tag)
 		c.stats.Evictions++
 		if v.Dirty {
 			c.stats.DirtyEvicts++
 		}
 	}
 	c.tick++
-	ways[victimIdx] = way{tag: tag, lru: c.tick, valid: true, dirty: dirty}
+	meta := c.tick<<lruShift | wayValid
+	if dirty {
+		meta |= wayDirty
+	}
+	ways[victimIdx] = way{tag: tag, meta: meta}
 	c.stats.Fills++
 	return v, setBase + uint64(victimIdx)
 }
@@ -254,11 +285,11 @@ install:
 // for coherence back-invalidations and inclusive-eviction shootdowns.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			d := ways[i].dirty
-			ways[i] = way{}
+		if ways[i].tag == tag {
+			d := ways[i].dirty()
+			ways[i] = way{tag: invalidTag}
 			c.stats.Invalidates++
 			return true, d
 		}
@@ -270,10 +301,10 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // been propagated downstream).
 func (c *Cache) CleanLine(addr uint64) {
 	setBase, tag := c.locate(addr)
-	ways := c.sets[setBase : setBase+uint64(c.cfg.Ways)]
+	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].dirty = false
+		if ways[i].tag == tag {
+			ways[i].meta &^= wayDirty
 			return
 		}
 	}
@@ -281,14 +312,14 @@ func (c *Cache) CleanLine(addr uint64) {
 
 // reconstruct rebuilds a line's byte address from its set and tag.
 func (c *Cache) reconstruct(set, tag uint64) uint64 {
-	return (tag<<uint(bitsFor(c.numSets)) | set) << c.lineBits
+	return (tag<<c.setBits | set) << c.lineBits
 }
 
 // Occupancy returns the number of valid lines (test/diagnostic helper).
 func (c *Cache) Occupancy() uint64 {
 	var n uint64
 	for i := range c.sets {
-		if c.sets[i].valid {
+		if c.sets[i].valid() {
 			n++
 		}
 	}

@@ -7,9 +7,17 @@
 // inclusive-eviction shootdown path: when the LLC evicts a line, the
 // directory back-invalidates the upper-level copies, and a dirty private
 // copy must be written back.
+//
+// The acquire/shootdown results report affected cores as bitmasks rather
+// than slices: the directory sits on the simulator's per-operation hot
+// path, and returning a mask keeps it allocation-free. Iterate with
+// bits.TrailingZeros64 (ascending core order).
 package coherence
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // State is a MESI line state as seen by the directory for one line.
 type State uint8
@@ -51,17 +59,20 @@ type Stats struct {
 	Shootdowns      uint64 // inclusive back-invalidations from LLC evictions
 }
 
+// lineState packs one tracked line into 16 bytes so the directory map
+// stores values directly — no per-line pointer allocation, no pointer
+// chase on lookup, and deleted slots are reused without touching the heap.
 type lineState struct {
-	state   State
 	sharers uint64 // bitmask of cores with a copy
-	owner   int    // valid for E/M
+	owner   int8   // valid for E/M (numCores <= 64 fits)
+	state   State
 }
 
 // Directory is the MESI directory. It supports up to 64 cores (bitmask
 // sharers). Not safe for concurrent use.
 type Directory struct {
 	numCores int
-	lines    map[uint64]*lineState // line address -> state
+	lines    map[uint64]lineState // line address -> state
 	stats    Stats
 }
 
@@ -70,7 +81,7 @@ func NewDirectory(numCores int) (*Directory, error) {
 	if numCores <= 0 || numCores > 64 {
 		return nil, fmt.Errorf("coherence: core count %d out of [1,64]", numCores)
 	}
-	return &Directory{numCores: numCores, lines: make(map[uint64]*lineState)}, nil
+	return &Directory{numCores: numCores, lines: make(map[uint64]lineState)}, nil
 }
 
 // MustNewDirectory is NewDirectory that panics on error.
@@ -112,17 +123,17 @@ func (d *Directory) Sharers(addr uint64) []int {
 }
 
 // ReadAcquire handles core's read (GetS) for addr after it missed the
-// private caches. It returns the cores whose copies were downgraded (the
-// simulator charges their snoop latency) and whether a dirty copy had to be
-// written back to the LLC first.
-func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded []int, dirtyWB bool) {
+// private caches. It returns the bitmask of cores whose copies were
+// downgraded (the simulator charges their snoop latency) and whether a
+// dirty copy had to be written back to the LLC first.
+func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded uint64, dirtyWB bool) {
 	d.checkCore(core)
 	d.stats.ReadMisses++
 	ls, ok := d.lines[addr]
 	if !ok {
 		// First reader gets Exclusive (the E optimisation of MESI).
-		d.lines[addr] = &lineState{state: Exclusive, sharers: 1 << uint(core), owner: core}
-		return nil, false
+		d.lines[addr] = lineState{state: Exclusive, sharers: 1 << uint(core), owner: int8(core)}
+		return 0, false
 	}
 	switch ls.state {
 	case Modified:
@@ -130,8 +141,8 @@ func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded []int, dirtyW
 		d.stats.DirtyWritebacks++
 		fallthrough
 	case Exclusive:
-		if ls.owner != core {
-			downgraded = append(downgraded, ls.owner)
+		if int(ls.owner) != core {
+			downgraded = 1 << uint(ls.owner)
 			d.stats.Downgrades++
 		}
 		ls.state = Shared
@@ -139,39 +150,37 @@ func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded []int, dirtyW
 		// Nothing to do.
 	case Invalid:
 		ls.state = Exclusive
-		ls.owner = core
+		ls.owner = int8(core)
 	}
 	ls.sharers |= 1 << uint(core)
 	if ls.state == Exclusive {
-		ls.owner = core
+		ls.owner = int8(core)
 	}
+	d.lines[addr] = ls
 	return downgraded, dirtyWB
 }
 
-// WriteAcquire handles core's write (GetM) for addr. It returns the cores
-// whose copies were invalidated and whether a remote dirty copy was written
-// back.
-func (d *Directory) WriteAcquire(addr uint64, core int) (invalidated []int, dirtyWB bool) {
+// WriteAcquire handles core's write (GetM) for addr. It returns the bitmask
+// of cores whose copies were invalidated and whether a remote dirty copy
+// was written back.
+func (d *Directory) WriteAcquire(addr uint64, core int) (invalidated uint64, dirtyWB bool) {
 	d.checkCore(core)
 	d.stats.WriteMisses++
 	ls, ok := d.lines[addr]
 	if !ok {
-		d.lines[addr] = &lineState{state: Modified, sharers: 1 << uint(core), owner: core}
-		return nil, false
+		d.lines[addr] = lineState{state: Modified, sharers: 1 << uint(core), owner: int8(core)}
+		return 0, false
 	}
-	if ls.state == Modified && ls.owner != core {
+	if ls.state == Modified && int(ls.owner) != core {
 		dirtyWB = true
 		d.stats.DirtyWritebacks++
 	}
-	for c := 0; c < d.numCores; c++ {
-		if c != core && ls.sharers&(1<<uint(c)) != 0 {
-			invalidated = append(invalidated, c)
-			d.stats.Invalidations++
-		}
-	}
+	invalidated = ls.sharers &^ (1 << uint(core))
+	d.stats.Invalidations += uint64(popcount(invalidated))
 	ls.state = Modified
 	ls.sharers = 1 << uint(core)
-	ls.owner = core
+	ls.owner = int8(core)
+	d.lines[addr] = ls
 	return invalidated, dirtyWB
 }
 
@@ -189,28 +198,25 @@ func (d *Directory) Release(addr uint64, core int, dirty bool) {
 		delete(d.lines, addr)
 		return
 	}
-	if (ls.state == Modified || ls.state == Exclusive) && ls.owner == core {
+	if (ls.state == Modified || ls.state == Exclusive) && int(ls.owner) == core {
 		// Remaining copies (if any) are read-only.
 		ls.state = Shared
 	}
+	d.lines[addr] = ls
 	_ = dirty // dirtiness is the caller's write-back concern; tracked in stats by Shootdown/Acquire paths
 }
 
 // Shootdown back-invalidates every private copy of addr because the LLC is
-// evicting the line (inclusive hierarchy). It returns the cores that held
-// copies and whether any copy was dirty (needing a write-back ahead of the
-// eviction).
-func (d *Directory) Shootdown(addr uint64) (holders []int, dirty bool) {
+// evicting the line (inclusive hierarchy). It returns the bitmask of cores
+// that held copies and whether any copy was dirty (needing a write-back
+// ahead of the eviction).
+func (d *Directory) Shootdown(addr uint64) (holders uint64, dirty bool) {
 	ls, ok := d.lines[addr]
 	if !ok {
-		return nil, false
+		return 0, false
 	}
-	for c := 0; c < d.numCores; c++ {
-		if ls.sharers&(1<<uint(c)) != 0 {
-			holders = append(holders, c)
-			d.stats.Invalidations++
-		}
-	}
+	holders = ls.sharers
+	d.stats.Invalidations += uint64(popcount(holders))
 	d.stats.Shootdowns++
 	dirty = ls.state == Modified
 	if dirty {
@@ -222,6 +228,8 @@ func (d *Directory) Shootdown(addr uint64) (holders []int, dirty bool) {
 
 // TrackedLines returns how many lines the directory currently tracks.
 func (d *Directory) TrackedLines() int { return len(d.lines) }
+
+func popcount(m uint64) int { return bits.OnesCount64(m) }
 
 func (d *Directory) checkCore(core int) {
 	if core < 0 || core >= d.numCores {

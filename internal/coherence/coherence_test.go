@@ -30,8 +30,8 @@ func TestStateString(t *testing.T) {
 func TestFirstReaderGetsExclusive(t *testing.T) {
 	d := dir()
 	down, wb := d.ReadAcquire(0x40, 2)
-	if len(down) != 0 || wb {
-		t.Errorf("first read: downgraded=%v wb=%v", down, wb)
+	if down != 0 || wb {
+		t.Errorf("first read: downgraded=%b wb=%v", down, wb)
 	}
 	if d.StateOf(0x40) != Exclusive {
 		t.Errorf("state %v, want E", d.StateOf(0x40))
@@ -45,8 +45,8 @@ func TestSecondReaderDowngradesToShared(t *testing.T) {
 	d := dir()
 	d.ReadAcquire(0x40, 0)
 	down, wb := d.ReadAcquire(0x40, 1)
-	if len(down) != 1 || down[0] != 0 || wb {
-		t.Errorf("downgraded=%v wb=%v, want [0] false", down, wb)
+	if down != 1<<0 || wb {
+		t.Errorf("downgraded=%b wb=%v, want core-0 bit false", down, wb)
 	}
 	if d.StateOf(0x40) != Shared {
 		t.Errorf("state %v, want S", d.StateOf(0x40))
@@ -63,8 +63,8 @@ func TestReadOfModifiedForcesWriteback(t *testing.T) {
 	if !wb {
 		t.Error("reading a remote M line must write back dirty data")
 	}
-	if len(down) != 1 || down[0] != 0 {
-		t.Errorf("downgraded %v, want [0]", down)
+	if down != 1<<0 {
+		t.Errorf("downgraded %b, want core-0 bit", down)
 	}
 	if d.StateOf(0x80) != Shared {
 		t.Errorf("state %v, want S", d.StateOf(0x80))
@@ -80,8 +80,8 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 	if wb {
 		t.Error("no dirty copy existed")
 	}
-	if len(inv) != 2 {
-		t.Errorf("invalidated %v, want cores 0 and 2", inv)
+	if inv != 1<<0|1<<2 {
+		t.Errorf("invalidated %b, want cores 0 and 2", inv)
 	}
 	if d.StateOf(0xC0) != Modified {
 		t.Errorf("state %v, want M", d.StateOf(0xC0))
@@ -95,8 +95,8 @@ func TestWriteOfRemoteModified(t *testing.T) {
 	d := dir()
 	d.WriteAcquire(0x100, 0)
 	inv, wb := d.WriteAcquire(0x100, 5)
-	if !wb || len(inv) != 1 || inv[0] != 0 {
-		t.Errorf("inv=%v wb=%v, want [0] true", inv, wb)
+	if !wb || inv != 1<<0 {
+		t.Errorf("inv=%b wb=%v, want core-0 bit true", inv, wb)
 	}
 	if d.StateOf(0x100) != Modified || d.Sharers(0x100)[0] != 5 {
 		t.Error("ownership did not transfer")
@@ -107,8 +107,8 @@ func TestSilentUpgradeOwnLine(t *testing.T) {
 	d := dir()
 	d.ReadAcquire(0x140, 3) // E
 	inv, wb := d.WriteAcquire(0x140, 3)
-	if len(inv) != 0 || wb {
-		t.Errorf("upgrading own E line must be silent, got inv=%v wb=%v", inv, wb)
+	if inv != 0 || wb {
+		t.Errorf("upgrading own E line must be silent, got inv=%b wb=%v", inv, wb)
 	}
 	if d.StateOf(0x140) != Modified {
 		t.Errorf("state %v, want M", d.StateOf(0x140))
@@ -146,15 +146,15 @@ func TestShootdown(t *testing.T) {
 	d := dir()
 	d.WriteAcquire(0x200, 7)
 	holders, dirty := d.Shootdown(0x200)
-	if len(holders) != 1 || holders[0] != 7 || !dirty {
-		t.Errorf("holders=%v dirty=%v, want [7] true", holders, dirty)
+	if holders != 1<<7 || !dirty {
+		t.Errorf("holders=%b dirty=%v, want core-7 bit true", holders, dirty)
 	}
 	if d.StateOf(0x200) != Invalid {
 		t.Error("line should be invalid after shootdown")
 	}
 	// Shooting down an untracked line is harmless.
 	holders, dirty = d.Shootdown(0x200)
-	if holders != nil || dirty {
+	if holders != 0 || dirty {
 		t.Error("second shootdown should find nothing")
 	}
 }

@@ -105,10 +105,17 @@ type Core struct {
 	// completion records the completion cycle of recent instructions,
 	// indexed by seq modulo its (power-of-two) length, for dependence
 	// resolution. Any dependence older than the current ROB contents has
-	// committed and is complete by construction.
+	// committed and is complete by construction. compMask caches
+	// len(completion)-1 for the per-instruction index computations.
 	completion []uint64
+	compMask   uint64
 
 	stats Stats
+
+	// scratch receives Generator.Next output. A local would be forced to
+	// the heap on every dispatch call: the generator is an interface, so
+	// escape analysis cannot prove the pointer does not outlive the call.
+	scratch trace.Instr
 
 	// Measurement bookkeeping (managed via ResetStats/Done).
 	target    uint64
@@ -140,6 +147,7 @@ func New(id int, cfg Config, gen trace.Generator, mem MemSystem, cpt *predictor.
 		cpt:        cpt,
 		rob:        make([]robEntry, cfg.ROBEntries),
 		completion: make([]uint64, histLen),
+		compMask:   uint64(histLen - 1),
 	}, nil
 }
 
@@ -212,7 +220,7 @@ func (c *Core) Tick(cycle uint64) (nextWake uint64) {
 	}
 	for i := range c.pending {
 		p := &c.pending[i]
-		dep := c.completion[p.depSeq&uint64(len(c.completion)-1)]
+		dep := c.completion[p.depSeq&c.compMask]
 		if dep == unknownCompletion {
 			continue
 		}
@@ -243,7 +251,7 @@ func (c *Core) issuePending(cycle uint64) {
 	kept := c.pending[:0]
 	for i := range c.pending {
 		p := c.pending[i]
-		dep := c.completion[p.depSeq&uint64(len(c.completion)-1)]
+		dep := c.completion[p.depSeq&c.compMask]
 		if dep == unknownCompletion {
 			kept = append(kept, p)
 			continue
@@ -281,7 +289,7 @@ func (c *Core) execute(e *robEntry, ready uint64) {
 		c.mem.Store(c.id, e.pc, e.addr, false, ready)
 		e.completeCycle = ready + uint64(c.cfg.StoreLatency)
 	}
-	c.completion[e.seq&uint64(len(c.completion)-1)] = e.completeCycle
+	c.completion[e.seq&c.compMask] = e.completeCycle
 }
 
 func (c *Core) commit(cycle uint64) {
@@ -324,7 +332,10 @@ func (c *Core) commit(cycle uint64) {
 			c.done = true
 			c.doneCycle = cycle
 		}
-		c.head = (c.head + 1) % c.cfg.ROBEntries
+		c.head++
+		if c.head == c.cfg.ROBEntries {
+			c.head = 0
+		}
 		c.count--
 	}
 }
@@ -334,9 +345,9 @@ func (c *Core) dispatch(cycle uint64) {
 		c.stats.ROBFullCycles++
 		return
 	}
-	var in trace.Instr
+	in := &c.scratch
 	for n := 0; n < c.cfg.IssueWidth && c.count < c.cfg.ROBEntries; n++ {
-		c.gen.Next(&in)
+		c.gen.Next(in)
 		seq := c.seq
 		c.seq++
 
@@ -350,7 +361,7 @@ func (c *Core) dispatch(cycle uint64) {
 		var depSeq uint64
 		if in.DepDist > 0 && uint64(in.DepDist) < uint64(len(c.completion)) && uint64(in.DepDist) <= seq {
 			depSeq = seq - uint64(in.DepDist)
-			t := c.completion[depSeq&uint64(len(c.completion)-1)]
+			t := c.completion[depSeq&c.compMask]
 			if t == unknownCompletion {
 				depKnown = false
 			} else if t > ready {
@@ -361,7 +372,10 @@ func (c *Core) dispatch(cycle uint64) {
 		e := robEntry{seq: seq, pc: in.PC, addr: in.Addr, kind: in.Kind, completeCycle: unknownCompletion}
 		robIdx := c.tail
 		c.rob[robIdx] = e
-		c.tail = (c.tail + 1) % c.cfg.ROBEntries
+		c.tail++
+		if c.tail == c.cfg.ROBEntries {
+			c.tail = 0
+		}
 		c.count++
 
 		// ALU work with a known producer completes a fixed latency after
@@ -371,7 +385,7 @@ func (c *Core) dispatch(cycle uint64) {
 		// only once their operands exist.
 		mustDefer := !depKnown || (ready > cycle+1 && in.Kind != trace.ALU)
 		if mustDefer {
-			c.completion[seq&uint64(len(c.completion)-1)] = unknownCompletion
+			c.completion[seq&c.compMask] = unknownCompletion
 			c.pending = append(c.pending, pendingOp{
 				robIdx:   robIdx,
 				depSeq:   depSeq,

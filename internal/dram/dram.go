@@ -72,7 +72,9 @@ type Stats struct {
 }
 
 type bank struct {
-	// openRows holds the scheduler's row window, most recent first.
+	// openRows holds the scheduler's row window, most recent first. The
+	// slice is preallocated to SchedulerRows capacity at construction and
+	// only ever re-sliced, so the steady-state access path never allocates.
 	openRows []uint64
 	nextFree uint64
 }
@@ -86,6 +88,8 @@ type Memory struct {
 	chanBits uint
 	bankBits uint
 	rowShift uint
+	chanMask uint64 // Channels-1, hoisted off the decode path
+	bankMask uint64 // RanksPerChan*BanksPerRank-1, hoisted off the decode path
 }
 
 // New validates cfg and builds the memory model. Channel, rank and bank
@@ -114,9 +118,15 @@ func New(cfg Config) (*Memory, error) {
 		banks:   make([]bank, nb),
 		busFree: make([]uint64, cfg.Channels),
 	}
+	rows := make([]uint64, nb*cfg.SchedulerRows)
+	for i := range m.banks {
+		m.banks[i].openRows = rows[i*cfg.SchedulerRows : i*cfg.SchedulerRows : (i+1)*cfg.SchedulerRows]
+	}
 	m.chanBits = log2u(uint64(cfg.Channels))
 	m.bankBits = log2u(uint64(cfg.RanksPerChan * cfg.BanksPerRank))
 	m.rowShift = log2u(cfg.RowBytes / cfg.LineBytes)
+	m.chanMask = uint64(cfg.Channels - 1)
+	m.bankMask = uint64(cfg.RanksPerChan*cfg.BanksPerRank - 1)
 	return m, nil
 }
 
@@ -154,9 +164,9 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // for streams), then across banks, then rows.
 func (m *Memory) decode(addr uint64) (ch int, bk int, row uint64) {
 	la := addr / m.cfg.LineBytes
-	ch = int(la & uint64(m.cfg.Channels-1))
+	ch = int(la & m.chanMask)
 	la >>= m.chanBits
-	bankInChan := la & uint64(m.cfg.RanksPerChan*m.cfg.BanksPerRank-1)
+	bankInChan := la & m.bankMask
 	la >>= m.bankBits
 	row = la >> m.rowShift
 	bk = ch*m.cfg.RanksPerChan*m.cfg.BanksPerRank + int(bankInChan)
@@ -193,7 +203,10 @@ func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	case len(b.openRows) < m.cfg.SchedulerRows:
 		m.stats.RowMisses++
 		coreLat = m.cfg.TRCD + m.cfg.TCAS
-		b.openRows = append([]uint64{row}, b.openRows...)
+		n := len(b.openRows)
+		b.openRows = b.openRows[:n+1]
+		copy(b.openRows[1:], b.openRows[:n])
+		b.openRows[0] = row
 	default:
 		m.stats.RowConflicts++
 		coreLat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS

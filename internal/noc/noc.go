@@ -132,6 +132,9 @@ func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
 	}
 	m.stats.Messages++
 	now := start
+	occ := uint64(occupancy)
+	hop := uint64(m.cfg.HopLatency)
+	window := uint64(m.cfg.ContentionWindow)
 	x, y := m.coord(from)
 	tx, ty := m.coord(to)
 	for x != tx || y != ty {
@@ -156,17 +159,17 @@ func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
 		li := prev*int(numDirs) + int(dir)
 		depart := now
 		if free := m.linkFree[li]; free > depart {
-			if free-depart <= uint64(m.cfg.ContentionWindow) {
+			if free-depart <= window {
 				m.stats.StallCycles += free - depart
 				depart = free
-				m.linkFree[li] = depart + uint64(occupancy)
+				m.linkFree[li] = depart + occ
 			}
 			// Otherwise the reservation is far ahead: the message uses the
 			// idle gap before it, leaving the future reservation in place.
 		} else {
-			m.linkFree[li] = depart + uint64(occupancy)
+			m.linkFree[li] = depart + occ
 		}
-		now = depart + uint64(m.cfg.HopLatency)
+		now = depart + hop
 		m.stats.TotalHops++
 	}
 	return now

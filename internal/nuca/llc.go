@@ -123,6 +123,11 @@ type LLC struct {
 	// bankFree serialises bank accesses: the next cycle each ReRAM bank
 	// can accept a request. Managed by the simulator through BankService.
 	bankFree []uint64
+
+	// Widened copies of the read/write service parameters, hoisted out of
+	// BankService (called at least once per LLC access and write-back).
+	readOcc, readLat   uint64
+	writeOcc, writeLat uint64
 }
 
 // New builds the LLC. wear must be configured with matching bank count and
@@ -185,6 +190,10 @@ func New(cfg Config, wear *rram.Wear) (*LLC, error) {
 		l.rotOffset = make([]uint64, cfg.NumBanks)
 		l.rotCounter = make([]uint64, cfg.NumBanks)
 	}
+	l.readOcc = uint64(l.cfg.BankOccupancy)
+	l.readLat = uint64(l.cfg.BankLatency)
+	l.writeOcc = uint64(l.cfg.WriteOccupancy)
+	l.writeLat = uint64(l.cfg.WriteLatency)
 	return l, nil
 }
 
@@ -439,9 +448,9 @@ func (l *LLC) BankService(bank int, start uint64, write bool) uint64 {
 	if free := l.bankFree[bank]; free > begin && free-begin <= window {
 		begin = free
 	}
-	occ, lat := uint64(l.cfg.BankOccupancy), uint64(l.cfg.BankLatency)
+	occ, lat := l.readOcc, l.readLat
 	if write {
-		occ, lat = uint64(l.cfg.WriteOccupancy), uint64(l.cfg.WriteLatency)
+		occ, lat = l.writeOcc, l.writeLat
 	}
 	if begin+occ > l.bankFree[bank] {
 		l.bankFree[bank] = begin + occ

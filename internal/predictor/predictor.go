@@ -55,12 +55,17 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.Correct) / float64(n)
 }
 
+// entry is packed to 24 bytes: validity is encoded by the pc field using a
+// sentinel no real load PC can take (generated PCs are word-aligned, so the
+// all-ones value is unreachable), which also makes the hot-path tag check a
+// single compare.
 type entry struct {
 	pc       uint64
 	numLoads uint64
 	robBlock uint64
-	valid    bool
 }
+
+const invalidPC = ^uint64(0)
 
 // CPT is the Criticality Predictor Table. Each core owns one; it is not
 // safe for concurrent use.
@@ -79,10 +84,14 @@ func New(cfg Config) (*CPT, error) {
 	if cfg.ThresholdPct <= 0 || cfg.ThresholdPct > 100 {
 		return nil, fmt.Errorf("predictor: threshold %v%% out of (0,100]", cfg.ThresholdPct)
 	}
+	entries := make([]entry, cfg.Entries)
+	for i := range entries {
+		entries[i].pc = invalidPC
+	}
 	return &CPT{
 		cfg:     cfg,
 		mask:    uint64(cfg.Entries - 1),
-		entries: make([]entry, cfg.Entries),
+		entries: entries,
 	}, nil
 }
 
@@ -116,7 +125,7 @@ func (c *CPT) index(pc uint64) *entry {
 func (c *CPT) Predict(pc uint64) bool {
 	c.stats.Predictions++
 	e := c.index(pc)
-	if !e.valid || e.pc != pc || e.numLoads == 0 {
+	if e.pc != pc || e.numLoads == 0 {
 		return false
 	}
 	critical := float64(e.robBlock)*100 >= c.cfg.ThresholdPct*float64(e.numLoads)
@@ -130,7 +139,7 @@ func (c *CPT) Predict(pc uint64) bool {
 // 6a); issues from unknown PCs leave the table unchanged until commit.
 func (c *CPT) OnLoadIssue(pc uint64) {
 	e := c.index(pc)
-	if e.valid && e.pc == pc {
+	if e.pc == pc {
 		e.numLoads++
 	}
 }
@@ -139,7 +148,7 @@ func (c *CPT) OnLoadIssue(pc uint64) {
 // (step 3 of Figure 6a).
 func (c *CPT) OnROBBlock(pc uint64) {
 	e := c.index(pc)
-	if e.valid && e.pc == pc {
+	if e.pc == pc {
 		e.robBlock++
 	}
 }
@@ -167,10 +176,10 @@ func (c *CPT) OnLoadCommit(pc uint64, predicted, blocked bool) {
 	}
 
 	e := c.index(pc)
-	if e.valid && e.pc == pc {
+	if e.pc == pc {
 		return
 	}
-	if e.valid {
+	if e.pc != invalidPC {
 		c.stats.Conflicts++
 	}
 	c.stats.Inserts++
@@ -178,13 +187,13 @@ func (c *CPT) OnLoadCommit(pc uint64, predicted, blocked bool) {
 	if blocked {
 		rb = 1
 	}
-	*e = entry{pc: pc, numLoads: 1, robBlock: rb, valid: true}
+	*e = entry{pc: pc, numLoads: 1, robBlock: rb}
 }
 
 // Lookup exposes an entry's counters for tests and diagnostics.
 func (c *CPT) Lookup(pc uint64) (numLoads, robBlock uint64, ok bool) {
 	e := c.index(pc)
-	if e.valid && e.pc == pc {
+	if e.pc == pc {
 		return e.numLoads, e.robBlock, true
 	}
 	return 0, 0, false

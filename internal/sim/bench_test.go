@@ -73,32 +73,50 @@ func BenchmarkSingleSim(b *testing.B) {
 }
 
 // TestSteadyStateWalkDoesNotAllocate pins the whole per-operation hot path
-// — trace-independent Load walks over a warmed hierarchy, hitting every
-// level from L1 to DRAM — to zero heap allocations per operation.
+// — trace-independent Load/Store walks over a warmed hierarchy — to zero
+// heap allocations per operation. The 8MB-per-core working set overflows
+// each core's LLC share, so the measured window continuously exercises LLC
+// evictions and fills, inclusive shootdowns, directory insert/delete churn,
+// dirty write-backs and DRAM row-window turnover, not just upper-level hits.
 func TestSteadyStateWalkDoesNotAllocate(t *testing.T) {
 	cfg := DefaultConfig(nuca.ReNUCA)
 	s, err := New(cfg, testApps(cfg.Cores))
 	if err != nil {
 		t.Fatal(err)
 	}
-	const n = 1 << 12
+	const n = 1 << 20
 	addrs := make([]uint64, n)
 	state := uint64(0x9E3779B97F4A7C15)
 	for i := range addrs {
 		state = state*6364136223846793005 + 1442695040888963407
-		addrs[i] = (state & (1<<20 - 1)) &^ 63
+		// ~4MB of unique lines per core across 16 cores: more than double
+		// the LLC, so steady state keeps evicting.
+		addrs[i] = (state & (1<<24 - 1)) &^ 63
 	}
 	var cycle uint64
 	for i, a := range addrs { // reach steady state: fills, evictions, wear
-		s.Load(i&15, 0, a, i&3 == 0, cycle)
+		if i&7 == 0 {
+			s.Store(i&15, 0, a, false, cycle)
+		} else {
+			s.Load(i&15, 0, a, i&3 == 0, cycle)
+		}
 		cycle += 4
 	}
+	before := s.LLC().Stats()
 	i := 0
 	if got := testing.AllocsPerRun(5000, func() {
-		s.Load(i&15, 0, addrs[i&(n-1)], i&3 == 0, cycle)
+		if i&7 == 0 {
+			s.Store(i&15, 0, addrs[i&(n-1)], false, cycle)
+		} else {
+			s.Load(i&15, 0, addrs[i&(n-1)], i&3 == 0, cycle)
+		}
 		cycle += 4
 		i++
 	}); got != 0 {
 		t.Errorf("steady-state walk allocates %v times per op, want 0", got)
+	}
+	after := s.LLC().Stats()
+	if after.Fills == before.Fills {
+		t.Fatal("measured window performed no LLC fills; working set too small to exercise evictions")
 	}
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/nuca"
 )
@@ -19,7 +21,7 @@ func (s *System) Load(core int, pc, addr uint64, critical bool, cycle uint64) ui
 func (s *System) Store(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
 	s.counters[core].Stores++
 	s.walk(core, addr, critical, cycle, true)
-	return cycle + uint64(s.cfg.L1.Latency)
+	return cycle + s.l1Lat
 }
 
 // walk performs the full hierarchy access for one memory operation and
@@ -27,7 +29,7 @@ func (s *System) Store(core int, pc, addr uint64, critical bool, cycle uint64) u
 // the line ends up dirty in L1.
 func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forStore bool) uint64 {
 	pa := paddr(core, vaddr)
-	line := pa &^ (s.cfg.LLC.LineBytes - 1)
+	line := pa &^ s.lineMask
 	ctr := &s.counters[core]
 	t := cycle
 
@@ -35,25 +37,25 @@ func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forSt
 	//    happens here, before the LLC is reached (Section IV-C).
 	if !s.tlbs[core].Access(pa) {
 		ctr.TLBMisses++
-		t += uint64(s.cfg.TLB.MissLatency)
+		t += s.tlbMissLat
 	}
 	mbv := s.tlbs[core].MappingBit(pa)
 
 	// 2. L1.
 	if s.l1[core].Lookup(pa, forStore) {
-		return t + uint64(s.cfg.L1.Latency)
+		return t + s.l1Lat
 	}
 	ctr.L1Misses++
-	t += uint64(s.cfg.L1.Latency)
+	t += s.l1Lat
 
 	// 3. L2.
 	if s.l2[core].Lookup(pa, false) {
-		t += uint64(s.cfg.L2.Latency)
+		t += s.l2Lat
 		s.fillL1(core, pa, forStore, t)
 		return t
 	}
 	ctr.L2Misses++
-	t += uint64(s.cfg.L2.Latency)
+	t += s.l2Lat
 
 	// 4. LLC. The Naive oracle first routes the request to the line's
 	//    home tile, where its slice of the location directory lives, and
@@ -118,7 +120,8 @@ func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forSt
 func (s *System) acquire(line uint64, core int, forStore bool) {
 	if forStore {
 		invalidated, _ := s.dir.WriteAcquire(line, core)
-		for _, h := range invalidated {
+		for m := invalidated; m != 0; m &= m - 1 {
+			h := bits.TrailingZeros64(m)
 			s.l1[h].Invalidate(line)
 			s.l2[h].Invalidate(line)
 		}
@@ -173,7 +176,7 @@ func (s *System) handleL2Victim(core int, v cacheVictim, t uint64) {
 	if _, d1 := s.l1[core].Invalidate(v.Addr); d1 {
 		dirty = true
 	}
-	line := v.Addr &^ (s.cfg.LLC.LineBytes - 1)
+	line := v.Addr &^ s.lineMask
 	s.dir.Release(line, core, dirty)
 	if !dirty {
 		return
@@ -207,10 +210,11 @@ func (s *System) handleLLCVictim(v cacheVictim, t uint64) {
 	if !v.Valid {
 		return
 	}
-	line := v.Addr &^ (s.cfg.LLC.LineBytes - 1)
+	line := v.Addr &^ s.lineMask
 	holders, _ := s.dir.Shootdown(line)
 	dirty := v.Dirty
-	for _, h := range holders {
+	for m := holders; m != 0; m &= m - 1 {
+		h := bits.TrailingZeros64(m)
 		if _, d := s.l1[h].Invalidate(line); d {
 			dirty = true
 		}

@@ -46,38 +46,45 @@ func (s *System) Run(instrPerCore uint64) error {
 		s.cores[i].SetTarget(instrPerCore)
 		s.isFrozen[i] = false
 	}
-	nextWake := make([]uint64, len(s.cores))
+	if s.nextWake == nil {
+		s.nextWake = make([]uint64, len(s.cores))
+	}
+	nextWake := s.nextWake
 	for i := range nextWake {
 		nextWake[i] = s.cycle
 	}
 	const halted = ^uint64(0)
 	remaining := len(s.cores)
 	start := s.cycle
+	// Each pass ticks every core due at the current cycle and, in the same
+	// sweep, tracks the earliest wake among running cores, so the next pass
+	// jumps straight there without a separate min-scan over the wake list.
 	for remaining > 0 {
-		// Advance to the earliest wake among running cores.
 		min := halted
-		for _, w := range nextWake {
+		for i := range s.cores {
+			w := nextWake[i]
+			if w <= s.cycle {
+				w = s.cores[i].Tick(s.cycle)
+				if !s.isFrozen[i] {
+					if done, at := s.cores[i].Done(); done {
+						s.isFrozen[i] = true
+						s.frozen[i] = s.counters[i]
+						s.doneAt[i] = at
+						w = halted
+						remaining--
+					}
+				}
+				nextWake[i] = w
+			}
 			if w < min {
 				min = w
 			}
 		}
+		if remaining == 0 {
+			break
+		}
 		if min > s.cycle {
 			s.cycle = min
-		}
-		for i := range s.cores {
-			if nextWake[i] > s.cycle {
-				continue
-			}
-			nextWake[i] = s.cores[i].Tick(s.cycle)
-			if !s.isFrozen[i] {
-				if done, at := s.cores[i].Done(); done {
-					s.isFrozen[i] = true
-					s.frozen[i] = s.counters[i]
-					s.doneAt[i] = at
-					nextWake[i] = halted
-					remaining--
-				}
-			}
 		}
 		if s.cycle-start > s.cfg.MaxRunCycles {
 			return fmt.Errorf("sim: exceeded %d cycles without reaching %d instructions per core",

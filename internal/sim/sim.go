@@ -135,10 +135,18 @@ type System struct {
 	cycle        uint64
 	measureStart uint64
 
+	// Widened copies of the per-access latencies and the line mask, hoisted
+	// out of walk() (one of each conversion per memory operation otherwise).
+	l1Lat      uint64
+	l2Lat      uint64
+	tlbMissLat uint64
+	lineMask   uint64 // LLC.LineBytes-1
+
 	counters []CoreCounters
 	frozen   []CoreCounters
 	isFrozen []bool
 	doneAt   []uint64
+	nextWake []uint64 // per-core wake schedule, reused across Run calls
 }
 
 // New builds a system running the given application profiles, one per core.
@@ -154,6 +162,10 @@ func New(cfg Config, apps []trace.Profile) (*System, error) {
 	}
 
 	s := &System{cfg: cfg}
+	s.l1Lat = uint64(cfg.L1.Latency)
+	s.l2Lat = uint64(cfg.L2.Latency)
+	s.tlbMissLat = uint64(cfg.TLB.MissLatency)
+	s.lineMask = cfg.LLC.LineBytes - 1
 	var err error
 	if s.mesh, err = noc.New(cfg.NoC); err != nil {
 		return nil, err

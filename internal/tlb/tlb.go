@@ -56,12 +56,27 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(n)
 }
 
+// entry is one TLB slot, packed to 24 bytes: the LRU stamp and the valid
+// flag share a meta word so an 8-way set stays within three CPU cache
+// lines. LRU stamps are unique (tick increments per touch), so 63 bits
+// never wrap.
 type entry struct {
-	vpn   uint64
-	mbv   uint64
-	lru   uint64
-	valid bool
+	vpn  uint64
+	mbv  uint64
+	meta uint64 // lru<<1 | valid
 }
+
+const (
+	entryValid = 1
+
+	// invalidVPN marks empty slots so find needs a single compare per way:
+	// virtual page numbers are addresses shifted right by pageShift, so no
+	// reachable VPN equals ^0.
+	invalidVPN = ^uint64(0)
+)
+
+func (e entry) valid() bool { return e.meta&entryValid != 0 }
+func (e entry) lru() uint64 { return e.meta >> 1 }
 
 // TLB is one core's enhanced TLB (the simulator instantiates one per core,
 // standing in for the paper's L1D TLB; instruction fetch is not modelled).
@@ -70,6 +85,9 @@ type TLB struct {
 	cfg       Config
 	sets      []entry // flattened [numSets][ways]
 	numSets   uint64
+	setMask   uint64 // numSets-1, hoisted off the probe path
+	ways      uint64 // uint64(cfg.Ways), hoisted off the probe path
+	lineMask  uint64 // lines per page - 1, hoisted off the MBV path
 	pageShift uint
 	lineShift uint
 	tick      uint64
@@ -94,10 +112,17 @@ func New(cfg Config) (*TLB, error) {
 	if lines := cfg.PageBytes / cfg.LineBytes; lines > 64 {
 		return nil, fmt.Errorf("tlb: %d lines per page exceed the 64-bit MBV", lines)
 	}
+	sets := make([]entry, cfg.Entries)
+	for i := range sets {
+		sets[i].vpn = invalidVPN
+	}
 	return &TLB{
 		cfg:       cfg,
-		sets:      make([]entry, cfg.Entries),
+		sets:      sets,
 		numSets:   numSets,
+		setMask:   numSets - 1,
+		ways:      uint64(cfg.Ways),
+		lineMask:  cfg.PageBytes/cfg.LineBytes - 1,
 		pageShift: uint(bits.TrailingZeros64(cfg.PageBytes)),
 		lineShift: uint(bits.TrailingZeros64(cfg.LineBytes)),
 	}, nil
@@ -125,15 +150,15 @@ func (t *TLB) vpn(vaddr uint64) uint64 { return vaddr >> t.pageShift }
 
 // lineBit returns the MBV bit mask for vaddr's line within its page.
 func (t *TLB) lineBit(vaddr uint64) uint64 {
-	idx := (vaddr >> t.lineShift) & (t.cfg.PageBytes/t.cfg.LineBytes - 1)
+	idx := (vaddr >> t.lineShift) & t.lineMask
 	return 1 << idx
 }
 
 func (t *TLB) find(vpn uint64) *entry {
-	setBase := (vpn & (t.numSets - 1)) * uint64(t.cfg.Ways)
-	ways := t.sets[setBase : setBase+uint64(t.cfg.Ways)]
+	setBase := (vpn & t.setMask) * t.ways
+	ways := t.sets[setBase : setBase+t.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].vpn == vpn {
+		if ways[i].vpn == vpn {
 			return &ways[i]
 		}
 	}
@@ -148,20 +173,20 @@ func (t *TLB) Access(vaddr uint64) bool {
 	vpn := t.vpn(vaddr)
 	if e := t.find(vpn); e != nil {
 		t.tick++
-		e.lru = t.tick
+		e.meta = t.tick<<1 | entryValid
 		t.stats.Hits++
 		return true
 	}
 	t.stats.Misses++
-	setBase := (vpn & (t.numSets - 1)) * uint64(t.cfg.Ways)
-	ways := t.sets[setBase : setBase+uint64(t.cfg.Ways)]
+	setBase := (vpn & t.setMask) * t.ways
+	ways := t.sets[setBase : setBase+t.ways]
 	victim := 0
 	for i := range ways {
-		if !ways[i].valid {
+		if !ways[i].valid() {
 			victim = i
 			goto install
 		}
-		if ways[i].lru < ways[victim].lru {
+		if ways[i].lru() < ways[victim].lru() {
 			victim = i
 		}
 	}
@@ -169,7 +194,7 @@ func (t *TLB) Access(vaddr uint64) bool {
 	t.stats.LostMappingBits += uint64(bits.OnesCount64(ways[victim].mbv))
 install:
 	t.tick++
-	ways[victim] = entry{vpn: vpn, lru: t.tick, valid: true}
+	ways[victim] = entry{vpn: vpn, meta: t.tick<<1 | entryValid}
 	return false
 }
 

@@ -80,9 +80,11 @@ func (r *rng) next() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// float64 returns a uniform value in [0,1).
+// float64 returns a uniform value in [0,1). Multiplying by 0x1p-53 is
+// bit-identical to dividing by 1<<53 (both are exact power-of-two scalings)
+// but avoids the hardware divide on the per-instruction hot path.
 func (r *rng) float64() float64 {
-	return float64(r.next()>>11) / (1 << 53)
+	return float64(r.next()>>11) * 0x1p-53
 }
 
 // intn returns a uniform value in [0,n). n must be positive.
