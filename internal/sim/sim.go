@@ -280,8 +280,17 @@ func (s *System) Counters(i int) CoreCounters {
 // LLC sets (all cores' hot lines fighting over one 16-way set); SE-mode
 // process isolation gives each process distinct physical pages, which this
 // reproduces while preserving intra-core contiguity (streams stay streams).
+//
+// The scattered line number is masked to the bits below coreAddrShift:
+// without the mask, an application address near the top of the per-core
+// window carries into the core-ID field, and coreOf would attribute the
+// address — and, under Re-NUCA, the MBV bookkeeping for its LLC evictions —
+// to the wrong core (wrapping within the window only risks intra-core
+// aliasing, which the set-associative caches handle like any other
+// conflict).
 func paddr(core int, addr uint64) uint64 {
-	line := (addr >> 6) + uint64(core)*0x12D687 // +core x 1,234,567 lines
+	const lineMask = 1<<(coreAddrShift-6) - 1
+	line := ((addr >> 6) + uint64(core)*0x12D687) & lineMask // +core x 1,234,567 lines
 	return line<<6 | (addr & 63) | uint64(core)<<coreAddrShift
 }
 

@@ -249,3 +249,50 @@ func TestInclusionInvariant(t *testing.T) {
 		t.Errorf("%d/%d L2-resident lines missing from LLC (inclusion broken)", violations, checked)
 	}
 }
+
+// TestPaddrPreservesOwner pins the ownership invariant the MBV bookkeeping
+// depends on: coreOf must recover the issuing core from any physical
+// address paddr can produce. The per-core scatter adds up to
+// 15 x 0x12D687 lines to the line number, so application addresses within
+// ~1.2GB of the 2^36 per-core window top used to carry into the embedded
+// core-ID field; handleLLCVictim would then clear the MBV bit in the wrong
+// core's TLB. The addresses below sit in that carry region and fail
+// without the line-field mask.
+func TestPaddrPreservesOwner(t *testing.T) {
+	s := &System{cfg: Config{Cores: 16}}
+	addrs := []uint64{
+		0,
+		4096,
+		1 << 30,
+		1<<coreAddrShift - 64,             // top line of the per-core window
+		1<<coreAddrShift - 0x12D687*64,    // enters the carry region for core 1+
+		1<<coreAddrShift - 15*0x12D687*64, // carry region boundary for core 15
+		1<<coreAddrShift - 1,              // non-line-aligned top byte
+	}
+	for core := 0; core < 16; core++ {
+		for _, a := range addrs {
+			pa := paddr(core, a)
+			if got := s.coreOf(pa); got != core {
+				t.Errorf("coreOf(paddr(%d, %#x)) = %d, want %d", core, a, got, core)
+			}
+			if pa&63 != a&63 {
+				t.Errorf("paddr(%d, %#x) dropped the line offset: %#x", core, a, pa)
+			}
+		}
+	}
+}
+
+// TestPaddrScatterStaysDisjoint checks the scatter still separates cores'
+// identically-laid-out hot regions (the reason paddr exists at all).
+func TestPaddrScatterStaysDisjoint(t *testing.T) {
+	seen := map[uint64]int{}
+	for core := 0; core < 16; core++ {
+		for a := uint64(0); a < 1<<16; a += 64 {
+			pa := paddr(core, a)
+			if prev, dup := seen[pa]; dup {
+				t.Fatalf("paddr collision: cores %d and %d both map to %#x", prev, core, pa)
+			}
+			seen[pa] = core
+		}
+	}
+}
