@@ -185,3 +185,54 @@ func TestSingleTileMeshCharacterisation(t *testing.T) {
 		t.Error("no LLC traffic at all")
 	}
 }
+
+// TestEnergyLLCAccountingDisjoint: the energy totals must partition LLC
+// traffic — LLCReads covers read probes only, LLCWrites the array writes
+// (fills plus write-back hits, via the wear tracker). Snapshot used to sum
+// whole-bank Accesses() into LLCReads, double-counting every write lookup
+// that LLCWrites already charged.
+func TestEnergyLLCAccountingDisjoint(t *testing.T) {
+	// Tiny private caches so store traffic produces L2 dirty evictions —
+	// and therefore LLC write lookups — within a short window.
+	cfg := DefaultConfig(nuca.SNUCA)
+	cfg.L1.SizeBytes = 4 << 10
+	cfg.L2.SizeBytes = 16 << 10
+	s, err := New(cfg, testApps(cfg.Cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunMeasured(400, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, wbLookups uint64
+	for b := 0; b < s.Config().LLC.NumBanks; b++ {
+		bs := s.LLC().BankStats(b)
+		reads += bs.ReadHits + bs.ReadMisses
+		wbLookups += bs.WriteHits + bs.WriteMisses
+	}
+	if res.LLC.Writebacks == 0 || wbLookups == 0 {
+		t.Fatal("window produced no write-backs; cannot exercise the double count")
+	}
+	if res.Energy.LLCReads != reads {
+		t.Errorf("energy LLCReads %d != bank read probes %d", res.Energy.LLCReads, reads)
+	}
+	// Independent cross-check: S-NUCA probes exactly one bank per LLC read,
+	// so bank read traffic must equal the per-core hit+miss counters.
+	var coreReads uint64
+	for i := 0; i < s.Config().Cores; i++ {
+		ctr := s.Counters(i)
+		coreReads += ctr.LLCHits + ctr.LLCMisses
+	}
+	if reads != coreReads {
+		t.Errorf("bank read probes %d != per-core LLC hits+misses %d", reads, coreReads)
+	}
+	// The write side: every array write the wear tracker charged is a fill
+	// or a write-back hit, and none of them may leak into LLCReads.
+	if want := res.LLC.Fills + res.LLC.WritebackHits; res.Energy.LLCWrites != want {
+		t.Errorf("energy LLCWrites %d != fills+writeback hits %d", res.Energy.LLCWrites, want)
+	}
+	if buggy := reads + wbLookups; res.Energy.LLCReads == buggy {
+		t.Errorf("LLCReads %d still includes the %d write lookups", res.Energy.LLCReads, wbLookups)
+	}
+}

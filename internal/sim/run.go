@@ -165,9 +165,14 @@ func (s *System) Snapshot(instrPerCore uint64) Result {
 	if r.MeasuredCycles == 0 {
 		r.MeasuredCycles = 1
 	}
+	// LLCReads counts read probes only (hits and misses both cycle the
+	// array). Write traffic — fills and write-back hits — is already
+	// accounted by the wear tracker as LLCWrites; summing Accesses() here
+	// would fold every write lookup into the read energy a second time.
 	var llcReads uint64
 	for b := 0; b < s.cfg.LLC.NumBanks; b++ {
-		llcReads += s.llc.BankStats(b).Accesses()
+		bs := s.llc.BankStats(b)
+		llcReads += bs.ReadHits + bs.ReadMisses
 	}
 	ds, ns := s.mem.Stats(), s.mesh.Stats()
 	r.Energy = energy.Counts{
