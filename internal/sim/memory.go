@@ -72,6 +72,14 @@ func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forSt
 		t += uint64(s.llc.DirLatency())
 	}
 	res := s.llc.Access(pa, core, mbv, false)
+	if res.Hit && res.NumProbes == 2 {
+		// Re-NUCA fallback probe recovered a line whose MBV bit was lost to
+		// a TLB entry eviction (Section IV-C leaves this corner unstated):
+		// the line lives at the mapping opposite the bit we probed with.
+		// Re-learn it so subsequent accesses pay a single probe instead of
+		// falling back forever.
+		s.tlbs[core].SetMappingBit(pa, !mbv)
+	}
 	switch {
 	case res.Hit:
 		arr := s.mesh.CtrlTraverse(origin, res.Bank, t)
@@ -184,6 +192,11 @@ func (s *System) handleL2Victim(core int, v cacheVictim, t uint64) {
 	s.counters[core].Writebacks++
 	mbv := s.tlbs[core].MappingBit(v.Addr)
 	res := s.llc.Access(v.Addr, core, mbv, true)
+	if res.Hit && res.NumProbes == 2 {
+		// Same MBV re-learn as the load path: the write-back found the line
+		// at the fallback mapping.
+		s.tlbs[core].SetMappingBit(v.Addr, !mbv)
+	}
 	tile := s.tileOf(core)
 	if res.Hit {
 		// Posted write: occupies the mesh and the ReRAM bank (writes are

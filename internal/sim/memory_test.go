@@ -234,3 +234,83 @@ func TestWalkUsesGeneratorProfiles(t *testing.T) {
 			s.Counters(0).LLCMisses, s.Counters(1).LLCMisses)
 	}
 }
+
+// TestFallbackHitRelearnsMappingBit: when a Re-NUCA fallback probe recovers
+// a line whose MBV bit was lost to a TLB entry eviction, the walk must
+// re-learn the bit from the hitting bank — otherwise every later access to
+// the line pays the two-probe fallback forever. The scenario: a critical
+// fill places a line at its R-NUCA bank and sets the bit; pressure evicts
+// the page's TLB entry (losing the bit); the next access falls back (two
+// probes), after which exactly one more probe per access suffices.
+func TestFallbackHitRelearnsMappingBit(t *testing.T) {
+	cfg := DefaultConfig(nuca.ReNUCA)
+	s, err := New(cfg, testApps(cfg.Cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmap, err := nuca.NewRNUCAMap(cfg.LLC.MeshWidth, cfg.LLC.MeshHeight, cfg.LLC.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a core-0 address whose S-NUCA and R-NUCA banks differ, so the
+	// two-probe fallback is observable. For core 0 paddr is the identity.
+	var target uint64
+	for a := uint64(0); a < 1<<16; a += 64 {
+		pa := paddr(0, a)
+		if nuca.SNUCABank(pa, cfg.LLC.LineBytes, cfg.LLC.NumBanks) != rmap.Bank(pa, 0) {
+			target = a
+			break
+		}
+	}
+	pa := paddr(0, target)
+
+	// Critical load: fills at the R-NUCA bank and sets the MBV bit.
+	var cycle uint64
+	s.Load(0, 0x40, target, true, cycle)
+	if !s.TLB(0).MappingBit(pa) {
+		t.Fatal("critical fill did not set the MBV bit")
+	}
+
+	// Evict the page's TLB entry: touch 8 more pages landing in the same
+	// TLB set (64-entry, 8-way => 8 sets, so pages 32KB apart collide).
+	setStride := uint64(s.TLB(0).Config().Entries/s.TLB(0).Config().Ways) * cfg.TLB.PageBytes
+	for k := uint64(1); k <= 8; k++ {
+		cycle += 1000
+		s.Load(0, 0x80, target+k*setStride, false, cycle)
+	}
+	if s.TLB(0).Resident(pa) {
+		t.Fatal("TLB entry survived the set pressure; cannot exercise the fallback")
+	}
+
+	// First re-access: fresh TLB entry, zero MBV -> S-NUCA probe misses,
+	// fallback probe hits, and the bit must be re-learned.
+	before := s.LLC().Stats()
+	cycle += 1000
+	s.Load(0, 0x40, target, false, cycle)
+	mid := s.LLC().Stats()
+	if got := mid.FallbackHits - before.FallbackHits; got != 1 {
+		t.Fatalf("recovery access: fallback hits delta %d, want 1", got)
+	}
+	if !s.TLB(0).MappingBit(pa) {
+		t.Error("fallback hit did not re-learn the MBV bit")
+	}
+
+	// Drop the private copies the recovery walk installed (as an L2
+	// eviction would) so the next access reaches the LLC again; the TLB
+	// entry — and the re-learned bit — stay resident.
+	s.l1[0].Invalidate(pa)
+	s.l2[0].Invalidate(pa)
+	s.dir.Release(pa, 0, false)
+
+	// Second re-access must take the single R-NUCA probe: no new fallback
+	// probes anywhere in the walk.
+	cycle += 1000
+	s.Load(0, 0x40, target, false, cycle)
+	after := s.LLC().Stats()
+	if got := after.FallbackProbes - mid.FallbackProbes; got != 0 {
+		t.Errorf("post-recovery access still pays %d fallback probe(s), want 0", got)
+	}
+	if after.ReadHits != mid.ReadHits+1 {
+		t.Errorf("post-recovery access missed the LLC (hits %d -> %d)", mid.ReadHits, after.ReadHits)
+	}
+}
