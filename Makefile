@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-full profile
+.PHONY: build vet lint test race simcheck check bench bench-full profile
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,8 @@ vet:
 	$(GO) vet ./...
 
 # Domain static analysis: nondeterminism, maporder, statsmerge, seedflow,
-# poolslot. See README "Determinism invariants".
+# poolslot, allocfree, hotdiv, statreg, invariantcall. See README
+# "Determinism invariants" and "Correctness tooling".
 lint:
 	$(GO) run ./cmd/renuca-lint ./...
 
@@ -25,6 +26,12 @@ test:
 # (`$(GO) test -race ./...` also works; this subset keeps the gate fast.)
 race:
 	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/experiments/ .
+
+# Full test suite with the runtime architectural-invariant sanitizer armed
+# (MESI legality, cache occupancy conservation, NoC latency envelopes, DRAM
+# bank legality, wear monotonicity). Slower; CI runs it as its own job.
+simcheck:
+	$(GO) test -tags simcheck -race ./...
 
 check: build vet lint test race
 

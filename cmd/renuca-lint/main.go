@@ -1,5 +1,6 @@
-// Command renuca-lint runs the project's determinism and stats-invariant
-// analyzers (package internal/lint) over the module and reports violations
+// Command renuca-lint runs the project's nine domain analyzers (package
+// internal/lint) — determinism, stats-invariant, hot-path allocation/divide,
+// and sanitizer-coverage checks — over the module and reports violations
 // as file:line:col diagnostics. It exits 0 on a clean tree, 1 when any
 // diagnostic is reported, and 2 on usage or load errors, so `make check`
 // can gate on it.

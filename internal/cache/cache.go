@@ -91,6 +91,7 @@ type Cache struct {
 	lineBits uint
 	tick     uint64
 	stats    Stats
+	san      sanState // occupancy-conservation counters; zero-size without the simcheck tag
 }
 
 // New builds a cache from cfg. It returns an error when the geometry does
@@ -187,8 +188,11 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // LookupFrame is Lookup, additionally returning the physical frame index
 // (set*ways+way) touched on a hit. The LLC banks use the frame index for
 // per-frame ReRAM wear accounting; frame is 0 and meaningless on a miss.
+//
+//lint:hotpath
 func (c *Cache) LookupFrame(addr uint64, write bool) (hit bool, frame uint64) {
 	setBase, tag := c.locate(addr)
+	c.sanCheckTouch(setBase)
 	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
 		if ways[i].tag == tag {
@@ -247,6 +251,8 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 
 // FillFrame is Fill, additionally returning the physical frame index the
 // line was installed into, for per-frame ReRAM wear accounting.
+//
+//lint:hotpath
 func (c *Cache) FillFrame(addr uint64, dirty bool) (Victim, uint64) {
 	setBase, tag := c.locate(addr)
 	ways := c.sets[setBase : setBase+c.ways]
@@ -265,7 +271,9 @@ install:
 	if ways[victimIdx].valid() {
 		v.Valid = true
 		v.Dirty = ways[victimIdx].dirty()
-		v.Addr = c.reconstruct(setBase/c.ways, ways[victimIdx].tag)
+		// The victim shares the incoming line's set, so its set index is the
+		// shift/mask form rather than setBase/ways (ways need not be pow2).
+		v.Addr = c.reconstruct(c.SetIndex(addr), ways[victimIdx].tag)
 		c.stats.Evictions++
 		if v.Dirty {
 			c.stats.DirtyEvicts++
@@ -278,11 +286,14 @@ install:
 	}
 	ways[victimIdx] = way{tag: tag, meta: meta}
 	c.stats.Fills++
+	c.sanCheckFill(setBase, v.Valid)
 	return v, setBase + uint64(victimIdx)
 }
 
 // Invalidate removes addr if present and reports (present, wasDirty). Used
 // for coherence back-invalidations and inclusive-eviction shootdowns.
+//
+//lint:hotpath
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	setBase, tag := c.locate(addr)
 	ways := c.sets[setBase : setBase+c.ways]
@@ -291,16 +302,21 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 			d := ways[i].dirty()
 			ways[i] = way{tag: invalidTag}
 			c.stats.Invalidates++
+			c.sanCheckInvalidate(setBase, true)
 			return true, d
 		}
 	}
+	c.sanCheckInvalidate(setBase, false)
 	return false, false
 }
 
 // CleanLine clears the dirty bit of addr if present (after a write-back has
 // been propagated downstream).
+//
+//lint:hotpath
 func (c *Cache) CleanLine(addr uint64) {
 	setBase, tag := c.locate(addr)
+	c.sanCheckTouch(setBase)
 	ways := c.sets[setBase : setBase+c.ways]
 	for i := range ways {
 		if ways[i].tag == tag {

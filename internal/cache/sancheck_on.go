@@ -1,0 +1,97 @@
+//go:build simcheck
+
+package cache
+
+import "repro/internal/sancheck"
+
+// sanState carries the occupancy-conservation counters the armed sanitizer
+// maintains alongside the real line array: live tracks fills minus
+// evictions minus invalidations and must always equal the structural
+// occupancy; events paces the full-array cross-check.
+type sanState struct {
+	live   uint64
+	events uint64
+}
+
+// sanSweepInterval is how many mutation events pass between full
+// Occupancy() cross-checks; per-event checks stay O(ways).
+const sanSweepInterval = 4096
+
+// sanCheckSet validates the structural invariants of one set: a valid way
+// never carries the invalid sentinel tag or an LRU stamp from the future,
+// an invalid way carries no stale tag or dirty bit (Invalidate must fully
+// scrub the frame), and no two valid ways in a set hold the same tag.
+func (c *Cache) sanCheckSet(setBase uint64) {
+	ways := c.sets[setBase : setBase+c.ways]
+	set := setBase / c.ways
+	for i := range ways {
+		w := ways[i]
+		if !w.valid() {
+			if w.tag != invalidTag || w.dirty() {
+				sancheck.Failf("cache %s: set %d way %d is invalid but carries tag %#x dirty=%v (frame not scrubbed)",
+					c.cfg.Name, set, i, w.tag, w.dirty())
+			}
+			continue
+		}
+		if w.tag == invalidTag {
+			sancheck.Failf("cache %s: set %d way %d is valid with the invalid sentinel tag", c.cfg.Name, set, i)
+		}
+		if w.lru() > c.tick {
+			sancheck.Failf("cache %s: set %d way %d LRU stamp %d is ahead of the cache tick %d",
+				c.cfg.Name, set, i, w.lru(), c.tick)
+		}
+		for j := i + 1; j < len(ways); j++ {
+			if ways[j].valid() && ways[j].tag == w.tag {
+				sancheck.Failf("cache %s: tag %#x duplicated in set %d (ways %d and %d)",
+					c.cfg.Name, w.tag, set, i, j)
+			}
+		}
+	}
+}
+
+// sanAccount applies one occupancy delta and verifies conservation: the
+// running fills-evictions-invalidations balance can never exceed capacity
+// or go negative (a negative balance wraps and trips the capacity bound),
+// dirty evictions can never outnumber evictions, and every
+// sanSweepInterval events the balance is cross-checked against the
+// structural Occupancy().
+func (c *Cache) sanAccount(delta int64) {
+	c.san.live += uint64(delta)
+	if c.san.live > c.Lines() {
+		sancheck.Failf("cache %s: occupancy conservation broken: %d live lines tracked against capacity %d",
+			c.cfg.Name, int64(c.san.live), c.Lines())
+	}
+	if c.stats.DirtyEvicts > c.stats.Evictions {
+		sancheck.Failf("cache %s: %d dirty evictions exceed %d total evictions",
+			c.cfg.Name, c.stats.DirtyEvicts, c.stats.Evictions)
+	}
+	c.san.events++
+	if c.san.events%sanSweepInterval == 0 {
+		if occ := c.Occupancy(); occ != c.san.live {
+			sancheck.Failf("cache %s: structural occupancy %d does not match conservation count %d",
+				c.cfg.Name, occ, c.san.live)
+		}
+	}
+}
+
+func (c *Cache) sanCheckTouch(setBase uint64) {
+	c.sanCheckSet(setBase)
+}
+
+func (c *Cache) sanCheckFill(setBase uint64, evicted bool) {
+	c.sanCheckSet(setBase)
+	if evicted {
+		c.sanAccount(0) // one in, one out
+	} else {
+		c.sanAccount(1)
+	}
+}
+
+func (c *Cache) sanCheckInvalidate(setBase uint64, removed bool) {
+	c.sanCheckSet(setBase)
+	if removed {
+		c.sanAccount(-1)
+	} else {
+		c.sanAccount(0)
+	}
+}

@@ -126,15 +126,20 @@ func (d *Directory) Sharers(addr uint64) []int {
 // private caches. It returns the bitmask of cores whose copies were
 // downgraded (the simulator charges their snoop latency) and whether a
 // dirty copy had to be written back to the LLC first.
+//
+//lint:hotpath
 func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded uint64, dirtyWB bool) {
 	d.checkCore(core)
+	d.sanCheckLine(addr)
 	d.stats.ReadMisses++
 	ls, ok := d.lines[addr]
 	if !ok {
 		// First reader gets Exclusive (the E optimisation of MESI).
 		d.lines[addr] = lineState{state: Exclusive, sharers: 1 << uint(core), owner: int8(core)}
+		d.sanCheckTransition(addr, Invalid)
 		return 0, false
 	}
+	prev := ls.state
 	switch ls.state {
 	case Modified:
 		dirtyWB = true
@@ -157,20 +162,26 @@ func (d *Directory) ReadAcquire(addr uint64, core int) (downgraded uint64, dirty
 		ls.owner = int8(core)
 	}
 	d.lines[addr] = ls
+	d.sanCheckTransition(addr, prev)
 	return downgraded, dirtyWB
 }
 
 // WriteAcquire handles core's write (GetM) for addr. It returns the bitmask
 // of cores whose copies were invalidated and whether a remote dirty copy
 // was written back.
+//
+//lint:hotpath
 func (d *Directory) WriteAcquire(addr uint64, core int) (invalidated uint64, dirtyWB bool) {
 	d.checkCore(core)
+	d.sanCheckLine(addr)
 	d.stats.WriteMisses++
 	ls, ok := d.lines[addr]
 	if !ok {
 		d.lines[addr] = lineState{state: Modified, sharers: 1 << uint(core), owner: int8(core)}
+		d.sanCheckTransition(addr, Invalid)
 		return 0, false
 	}
+	prev := ls.state
 	if ls.state == Modified && int(ls.owner) != core {
 		dirtyWB = true
 		d.stats.DirtyWritebacks++
@@ -181,21 +192,27 @@ func (d *Directory) WriteAcquire(addr uint64, core int) (invalidated uint64, dir
 	ls.sharers = 1 << uint(core)
 	ls.owner = int8(core)
 	d.lines[addr] = ls
+	d.sanCheckTransition(addr, prev)
 	return invalidated, dirtyWB
 }
 
 // Release removes core's copy of addr (its private cache evicted the line).
 // dirty reports whether the private copy was dirty; the directory then
 // transitions M->I (data written back to LLC by the caller).
+//
+//lint:hotpath
 func (d *Directory) Release(addr uint64, core int, dirty bool) {
 	d.checkCore(core)
+	d.sanCheckLine(addr)
 	ls, ok := d.lines[addr]
 	if !ok {
 		return
 	}
+	prev := ls.state
 	ls.sharers &^= 1 << uint(core)
 	if ls.sharers == 0 {
 		delete(d.lines, addr)
+		d.sanCheckTransition(addr, prev)
 		return
 	}
 	if (ls.state == Modified || ls.state == Exclusive) && int(ls.owner) == core {
@@ -203,6 +220,7 @@ func (d *Directory) Release(addr uint64, core int, dirty bool) {
 		ls.state = Shared
 	}
 	d.lines[addr] = ls
+	d.sanCheckTransition(addr, prev)
 	_ = dirty // dirtiness is the caller's write-back concern; tracked in stats by Shootdown/Acquire paths
 }
 
@@ -210,11 +228,15 @@ func (d *Directory) Release(addr uint64, core int, dirty bool) {
 // evicting the line (inclusive hierarchy). It returns the bitmask of cores
 // that held copies and whether any copy was dirty (needing a write-back
 // ahead of the eviction).
+//
+//lint:hotpath
 func (d *Directory) Shootdown(addr uint64) (holders uint64, dirty bool) {
+	d.sanCheckLine(addr)
 	ls, ok := d.lines[addr]
 	if !ok {
 		return 0, false
 	}
+	prev := ls.state
 	holders = ls.sharers
 	d.stats.Invalidations += uint64(popcount(holders))
 	d.stats.Shootdowns++
@@ -223,6 +245,7 @@ func (d *Directory) Shootdown(addr uint64) (holders uint64, dirty bool) {
 		d.stats.DirtyWritebacks++
 	}
 	delete(d.lines, addr)
+	d.sanCheckTransition(addr, prev)
 	return holders, dirty
 }
 

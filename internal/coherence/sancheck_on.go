@@ -1,0 +1,63 @@
+//go:build simcheck
+
+package coherence
+
+import "repro/internal/sancheck"
+
+// mesiLegal[prev][cur] is the transition matrix this directory can legally
+// produce, derived from the protocol methods: I->S is illegal (the first
+// reader always takes E), and S->E / M->E are illegal (nothing short of
+// full invalidation re-establishes exclusivity). Self-transitions are legal
+// no-ops, and I->I covers releases and shootdowns of untracked lines.
+var mesiLegal = [4][4]bool{
+	Invalid:   {Invalid: true, Shared: false, Exclusive: true, Modified: true},
+	Shared:    {Invalid: true, Shared: true, Exclusive: false, Modified: true},
+	Exclusive: {Invalid: true, Shared: true, Exclusive: true, Modified: true},
+	Modified:  {Invalid: true, Shared: true, Exclusive: false, Modified: true},
+}
+
+// sanCheckLine validates the core-bitmask consistency of one tracked line:
+// a tracked line has at least one sharer, no sharer outside the configured
+// core count, and in E/M exactly one sharer that matches the owner field.
+// Methods call it on entry (catching corruption left by earlier callers)
+// and again through sanCheckTransition on exit.
+func (d *Directory) sanCheckLine(addr uint64) {
+	ls, ok := d.lines[addr]
+	if !ok {
+		return
+	}
+	if ls.sharers == 0 {
+		sancheck.Failf("coherence: line %#x tracked in state %s with no sharers", addr, ls.state)
+	}
+	if limit := uint64(1)<<uint(d.numCores) - 1; ls.sharers&^limit != 0 {
+		sancheck.Failf("coherence: line %#x has sharers outside the %d-core system: %s",
+			addr, d.numCores, sancheck.Cores(ls.sharers))
+	}
+	switch ls.state {
+	case Exclusive, Modified:
+		if int(ls.owner) < 0 || int(ls.owner) >= d.numCores || ls.sharers != 1<<uint(ls.owner) {
+			sancheck.Failf("coherence: line %#x in state %s must have exactly one sharer matching owner %d, got %s",
+				addr, ls.state, ls.owner, sancheck.Cores(ls.sharers))
+		}
+	case Shared:
+	default:
+		sancheck.Failf("coherence: line %#x tracked with invalid state %d", addr, uint8(ls.state))
+	}
+}
+
+// sanCheckTransition validates the MESI transition a method just performed
+// (prev was captured at entry; the current state is re-read here) and
+// re-validates the line's bitmask consistency.
+func (d *Directory) sanCheckTransition(addr uint64, prev State) {
+	cur := Invalid
+	if ls, ok := d.lines[addr]; ok {
+		cur = ls.state
+	}
+	if prev > Modified || cur > Modified {
+		sancheck.Failf("coherence: line %#x transition involves invalid state (%d -> %d)", addr, uint8(prev), uint8(cur))
+	}
+	if !mesiLegal[prev][cur] {
+		sancheck.Failf("coherence: illegal MESI transition %s -> %s for line %#x", prev, cur, addr)
+	}
+	d.sanCheckLine(addr)
+}

@@ -81,15 +81,16 @@ type bank struct {
 
 // Memory is the DDR3 model. Not safe for concurrent use.
 type Memory struct {
-	cfg      Config
-	banks    []bank
-	busFree  []uint64 // per channel
-	stats    Stats
-	chanBits uint
-	bankBits uint
-	rowShift uint
-	chanMask uint64 // Channels-1, hoisted off the decode path
-	bankMask uint64 // RanksPerChan*BanksPerRank-1, hoisted off the decode path
+	cfg       Config
+	banks     []bank
+	busFree   []uint64 // per channel
+	stats     Stats
+	chanBits  uint
+	bankBits  uint
+	rowShift  uint
+	lineShift uint   // log2(LineBytes), hoisted off the decode path
+	chanMask  uint64 // Channels-1, hoisted off the decode path
+	bankMask  uint64 // RanksPerChan*BanksPerRank-1, hoisted off the decode path
 }
 
 // New validates cfg and builds the memory model. Channel, rank and bank
@@ -99,7 +100,10 @@ func New(cfg Config) (*Memory, error) {
 		return nil, fmt.Errorf("dram: channels/ranks/banks must be powers of two, got %d/%d/%d",
 			cfg.Channels, cfg.RanksPerChan, cfg.BanksPerRank)
 	}
-	if cfg.LineBytes == 0 || cfg.RowBytes == 0 || cfg.RowBytes%cfg.LineBytes != 0 {
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("dram: line size %d must be a power of two", cfg.LineBytes)
+	}
+	if cfg.RowBytes == 0 || cfg.RowBytes%cfg.LineBytes != 0 {
 		return nil, fmt.Errorf("dram: row size %d must be a positive multiple of line size %d",
 			cfg.RowBytes, cfg.LineBytes)
 	}
@@ -125,6 +129,7 @@ func New(cfg Config) (*Memory, error) {
 	m.chanBits = log2u(uint64(cfg.Channels))
 	m.bankBits = log2u(uint64(cfg.RanksPerChan * cfg.BanksPerRank))
 	m.rowShift = log2u(cfg.RowBytes / cfg.LineBytes)
+	m.lineShift = log2u(cfg.LineBytes)
 	m.chanMask = uint64(cfg.Channels - 1)
 	m.bankMask = uint64(cfg.RanksPerChan*cfg.BanksPerRank - 1)
 	return m, nil
@@ -162,8 +167,10 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // decode splits a byte address into (channel, global bank index, row).
 // Lines interleave across channels first (maximising channel parallelism
 // for streams), then across banks, then rows.
+//
+//lint:hotpath
 func (m *Memory) decode(addr uint64) (ch int, bk int, row uint64) {
-	la := addr / m.cfg.LineBytes
+	la := addr >> m.lineShift
 	ch = int(la & m.chanMask)
 	la >>= m.chanBits
 	bankInChan := la & m.bankMask
@@ -180,6 +187,8 @@ func (m *Memory) decode(addr uint64) (ch int, bk int, row uint64) {
 // them and drains them into idle bank cycles, so they update row state and
 // statistics but do not reserve the bank or bus against reads. Reads queue
 // on bank and bus reservations within the contention window.
+//
+//lint:hotpath
 func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	ch, bk, row := m.decode(addr)
 	b := &m.banks[bk]
@@ -219,7 +228,9 @@ func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	if write {
 		// Posted write: no resource claims; the write lands in idle slots.
 		m.stats.Writes++
-		return busStart + m.cfg.TBurst
+		done := busStart + m.cfg.TBurst
+		m.sanCheckBank(bk, now, done)
+		return done
 	}
 	if f := m.busFree[ch]; f > busStart {
 		if delta := f - busStart; delta <= m.cfg.ContentionWindow {
@@ -231,6 +242,7 @@ func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	m.busFree[ch] = done
 	b.nextFree = done
 	m.stats.Reads++
+	m.sanCheckBank(bk, now, done)
 	return done
 }
 

@@ -1,0 +1,9 @@
+//go:build !simcheck
+
+package dram
+
+// Without the simcheck build tag the sanCheck* hook is an empty no-op the
+// compiler erases. Build with `-tags simcheck` (make simcheck) to arm the
+// implementation in sancheck_on.go.
+
+func (m *Memory) sanCheckBank(bk int, now, done uint64) {}

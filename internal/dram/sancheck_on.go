@@ -1,0 +1,33 @@
+//go:build simcheck
+
+package dram
+
+import "repro/internal/sancheck"
+
+// sanCheckBank validates the bank state machine after one Access: the
+// scheduler's open-row window never exceeds its configured depth or holds
+// a duplicate row (the recency-refresh copies would corrupt both ways),
+// and the completion time respects the best-case bound — controller
+// overhead plus CAS plus burst; row misses and conflicts only add to it.
+// Bank nextFree is deliberately unchecked: requests are issued at walk
+// times that skew out of order, so next-free timestamps may legally move
+// backwards between calls.
+func (m *Memory) sanCheckBank(bk int, now, done uint64) {
+	b := &m.banks[bk]
+	if len(b.openRows) > m.cfg.SchedulerRows {
+		sancheck.Failf("dram: bank %d row window holds %d rows, above the scheduler depth %d",
+			bk, len(b.openRows), m.cfg.SchedulerRows)
+	}
+	for i := 0; i < len(b.openRows); i++ {
+		for j := i + 1; j < len(b.openRows); j++ {
+			if b.openRows[i] == b.openRows[j] {
+				sancheck.Failf("dram: bank %d row %#x appears twice in the open-row window (recency update corrupted)",
+					bk, b.openRows[i])
+			}
+		}
+	}
+	if min := now + m.cfg.TCtrl + m.cfg.TCAS + m.cfg.TBurst; done < min {
+		sancheck.Failf("dram: bank %d access issued at %d completed at %d, before the best-case row-hit latency bound %d",
+			bk, now, done, min)
+	}
+}

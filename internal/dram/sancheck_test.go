@@ -1,0 +1,53 @@
+//go:build simcheck
+
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSanitizerCatchesDuplicateOpenRow duplicates a row in a bank's
+// scheduler window — the state a broken recency update would leave — and
+// asserts the armed sanitizer panics on the bank's next access.
+func TestSanitizerCatchesDuplicateOpenRow(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Access(0, 0, false) // opens a row in addr 0's bank
+	_, bk, row := m.decode(0)
+	b := &m.banks[bk]
+	b.openRows = append(b.openRows, row) // corrupt: same row twice
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sanitizer did not catch the duplicated open row")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, frag := range []string{"sancheck:", "appears twice"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic %q does not name %q", msg, frag)
+			}
+		}
+	}()
+	m.Access(0, 1000, false)
+}
+
+// TestSanitizerAcceptsLegalTraffic mixes row hits, misses, conflicts and
+// posted writes with the sanitizer armed; every completion must respect
+// the best-case latency bound.
+func TestSanitizerAcceptsLegalTraffic(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		m.Access(i*64, i*7, i%4 == 0)
+		m.Access(i*1<<20, i*7+3, false) // row churn within a bank
+	}
+}

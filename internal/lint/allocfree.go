@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newAllocFree enforces the zero-allocation discipline on hot-path
+// functions (see hotpath.go for membership). The steady-state walk/tick
+// loops run tens of millions of times per simulation; one escaping literal
+// or boxed interface argument in them shows up directly in
+// BenchmarkSingleSim and, worse, in GC pressure that varies with heap
+// shape. The zero-alloc tests catch regressions on the paths they
+// exercise; this analyzer catches them on the paths they don't.
+//
+// Flagged inside a hot function:
+//   - closures (ast.FuncLit): the closure header allocates per call;
+//   - builtin append/make/new: growth or fresh backing storage per call;
+//   - &CompositeLit and slice/map composite literals: escape candidates
+//     (plain struct *value* literals are register-allocated and fine);
+//   - concrete values passed or converted to interface parameters: the
+//     conversion boxes the value on the heap.
+//
+// panic(...) subtrees are exempt — a formatting allocation on the way to a
+// crash is free. Amortised or construction-time cases carry
+// //lint:allow allocfree with the justification.
+func newAllocFree() *Analyzer {
+	a := &Analyzer{
+		Name: "allocfree",
+		Doc:  "hot-path (//lint:hotpath, Tick, walk) functions must not allocate: no closures, append, make/new, escaping composite literals, or interface conversions",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		for _, fd := range hotFuncs(p) {
+			fname := fd.Name.Name
+			walkSkippingPanics(info, fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					p.Reportf(n.Pos(), "hot-path function %s builds a closure, which allocates per call; hoist it to a method or restructure", fname)
+					return false
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+							p.Reportf(n.Pos(), "hot-path function %s takes the address of a composite literal, which escapes to the heap; reuse a preallocated slot", fname)
+							return false
+						}
+					}
+				case *ast.CompositeLit:
+					if tv, ok := info.Types[n]; ok && tv.Type != nil {
+						switch tv.Type.Underlying().(type) {
+						case *types.Slice:
+							p.Reportf(n.Pos(), "hot-path function %s builds a slice literal, which allocates per call; preallocate at construction", fname)
+							return false
+						case *types.Map:
+							p.Reportf(n.Pos(), "hot-path function %s builds a map literal, which allocates per call; preallocate at construction", fname)
+							return false
+						}
+					}
+				case *ast.CallExpr:
+					switch builtinCallee(info, n) {
+					case "append":
+						p.Reportf(n.Pos(), "hot-path function %s calls append, which may grow the backing array mid-run; preallocate capacity at construction or prove amortisation with a zero-alloc test", fname)
+					case "make":
+						p.Reportf(n.Pos(), "hot-path function %s calls make, which allocates per call; preallocate at construction", fname)
+					case "new":
+						p.Reportf(n.Pos(), "hot-path function %s calls new, which allocates per call; preallocate at construction", fname)
+					case "":
+						checkInterfaceBoxing(p, info, n, fname)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkInterfaceBoxing reports concrete-to-interface conversions at a call:
+// explicit conversions to an interface type, and concrete arguments bound
+// to interface parameters (including variadic ...interface elements when
+// boxed one by one rather than forwarded as a slice).
+func checkInterfaceBoxing(p *Pass, info *types.Info, call *ast.CallExpr, fname string) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && isConcreteValue(info, call.Args[0]) {
+			p.Reportf(call.Pos(), "hot-path function %s converts a concrete value to %s, which boxes it on the heap", fname, tv.Type.String())
+		}
+		return
+	}
+	sig := signatureOf(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if isConcreteValue(info, arg) {
+			p.Reportf(arg.Pos(), "hot-path function %s passes a concrete value where an interface parameter is expected, which boxes it on the heap", fname)
+		}
+	}
+}
+
+// isConcreteValue reports whether e is a non-nil value of concrete (non-
+// interface) type, i.e. binding it to an interface requires a conversion.
+func isConcreteValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newHotDiv flags integer division and modulo in hot-path functions when
+// the divisor is a run-time value fixed at construction time (a config or
+// struct field, a parameter, or a conversion of one). Hardware divide is
+// 20-40 cycles against 1 for a mask or shift, and every such divisor in
+// this codebase is a geometry constant (bank counts, line sizes, region
+// sizes) that is power-of-two-validated at construction — precompute a
+// mask/shift (or a memoised table for non-pow2) once in New and use it on
+// the hot path.
+//
+// Compile-time constant divisors are not flagged: the compiler strength-
+// reduces those itself. panic subtrees are exempt, and genuinely data-
+// dependent divisors carry //lint:allow hotdiv with the reason.
+func newHotDiv() *Analyzer {
+	a := &Analyzer{
+		Name: "hotdiv",
+		Doc:  "hot-path functions must not divide/mod by construction-time-fixed values; precompute a power-of-two mask/shift or a memoised table",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		for _, fd := range hotFuncs(p) {
+			fname := fd.Name.Name
+			walkSkippingPanics(info, fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.QUO && be.Op != token.REM) {
+					return true
+				}
+				if !isIntegerExpr(info, be.X) || !isIntegerExpr(info, be.Y) {
+					return true
+				}
+				if tv, ok := info.Types[be.Y]; ok && tv.Value != nil {
+					return true // compile-time constant: strength-reduced by the compiler
+				}
+				if !fixedDivisor(info, be.Y) {
+					return true
+				}
+				op := "division"
+				if be.Op == token.REM {
+					op = "modulo"
+				}
+				p.Reportf(be.OpPos, "hot-path function %s performs integer %s by %s, a value fixed at construction; precompute a power-of-two mask/shift or a memoised table there", fname, op, types.ExprString(be.Y))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// fixedDivisor reports whether e names a value that was fixed before the
+// hot loop started: a field selection (m.cfg.NumBanks), a plain identifier
+// (a parameter or hoisted local), or an integer conversion of either.
+// Function-call results are excluded — those are computed per iteration and
+// the fix is different (hoist the call, not the divide).
+func fixedDivisor(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.Ident:
+		return v.Name != "_"
+	case *ast.CallExpr:
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return fixedDivisor(info, v.Args[0])
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hot-path membership is shared by the allocfree and hotdiv analyzers. A
+// function is hot when it carries a //lint:hotpath annotation (anywhere in
+// its doc comment or on the line directly above the declaration), or when
+// it is named Tick or walk — the per-cycle and per-access entry points
+// whose cost the zero-alloc benchmarks already pin. Membership is not
+// transitive: a helper called from a hot function is only checked if it is
+// annotated itself, which keeps deliberately cold helpers (panic paths,
+// construction-time setup) out of scope.
+
+const hotpathMarker = "lint:hotpath"
+
+// hotpathComment reports whether c is the //lint:hotpath directive.
+func hotpathComment(c *ast.Comment) bool {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	return text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ")
+}
+
+// hotFuncName matches the entry points that are hot by contract even
+// without an annotation.
+func hotFuncName(name string) bool {
+	return name == "Tick" || name == "walk"
+}
+
+// hotFuncs returns every hot-path function declaration of the package,
+// excluding test files (tests may allocate freely).
+func hotFuncs(p *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		marked := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if hotpathComment(c) {
+					marked[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hotFuncName(fd.Name.Name) {
+				out = append(out, fd)
+				continue
+			}
+			annotated := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if hotpathComment(c) {
+						annotated = true
+					}
+				}
+			}
+			line := p.Fset.Position(fd.Pos()).Line
+			if annotated || marked[line-1] {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// builtinCallee returns the name of the builtin a call invokes ("append",
+// "make", "panic", ...), or "" for anything that is not a builtin call.
+func builtinCallee(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// walkSkippingPanics traverses n like ast.Inspect but does not descend into
+// panic(...) calls: by the time a panic formats its message, performance is
+// moot, so its allocations and divides are exempt.
+func walkSkippingPanics(info *types.Info, n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && builtinCallee(info, call) == "panic" {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// signatureOf returns the signature of the function a call invokes, or nil
+// for builtins and conversions.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isIntegerExpr reports whether e has an integer type.
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

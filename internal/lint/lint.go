@@ -1,8 +1,8 @@
 // Package lint implements renuca-lint, the project's domain-specific static
-// analysis. The simulator's scientific contract — identical results for
-// identical (seed, config) regardless of wall-clock, worker count, or map
-// iteration order — is enforced by five analyzers built on go/ast and
-// go/types only:
+// analysis. Nine analyzers built on go/ast and go/types only enforce the
+// simulator's two contracts. The scientific contract — identical results
+// for identical (seed, config) regardless of wall-clock, worker count, or
+// map iteration order:
 //
 //   - nondeterminism: wall-clock reads (time.Now, time.Since), global
 //     math/rand draws, and fixed-literal rand sources anywhere in the tree;
@@ -14,6 +14,20 @@
 //     data-flow from core.DeriveSeed or a caller-provided parameter;
 //   - poolslot: bare `go` statements in internal/experiments and
 //     internal/core that bypass internal/pool's bounded slots.
+//
+// And the performance/correctness contract — hot paths stay allocation- and
+// divide-free, and the counters and runtime invariants that validate the
+// paper's figures cannot silently drop out of coverage:
+//
+//   - allocfree: closures, append growth, make/new, escaping composite
+//     literals and interface conversions in //lint:hotpath functions;
+//   - hotdiv: integer `/` and `%` by construction-time-fixed values in
+//     //lint:hotpath functions, where a mask/shift or memoised table applies;
+//   - statreg: Stats-like structs with exported numeric counters that never
+//     reach the stats.MergeNumeric/SnapshotNumeric reflection net;
+//   - invariantcall: exported state-mutating methods in the invariant-
+//     bearing packages (coherence, cache, noc, dram, rram) that do not call
+//     their package's sanCheck* simcheck hook.
 //
 // Intentional exceptions are annotated in place:
 //
@@ -87,7 +101,7 @@ type Analyzer struct {
 	Finish func(report func(Diagnostic))
 }
 
-// NewAnalyzers returns fresh instances of all five analyzers.
+// NewAnalyzers returns fresh instances of all nine analyzers.
 func NewAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		newNondeterminism(),
@@ -95,6 +109,10 @@ func NewAnalyzers() []*Analyzer {
 		newStatsMerge(),
 		newSeedFlow(),
 		newPoolSlot(),
+		newAllocFree(),
+		newHotDiv(),
+		newStatReg(),
+		newInvariantCall(),
 	}
 }
 

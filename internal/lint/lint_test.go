@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -149,6 +150,32 @@ func TestMapOrderFixture(t *testing.T)       { runFixture(t, "maporder") }
 func TestStatsMergeFixture(t *testing.T)     { runFixture(t, "statsmerge") }
 func TestSeedFlowFixture(t *testing.T)       { runFixture(t, "seedflow") }
 func TestPoolSlotFixture(t *testing.T)       { runFixture(t, "poolslot") }
+func TestAllocFreeFixture(t *testing.T)      { runFixture(t, "allocfree") }
+func TestHotDivFixture(t *testing.T)         { runFixture(t, "hotdiv") }
+func TestStatRegFixture(t *testing.T)        { runFixture(t, "statreg") }
+func TestInvariantCallFixture(t *testing.T)  { runFixture(t, "invariantcall") }
+
+// TestLoaderSkipsTaggedOutFiles pins the loader's build-constraint
+// filtering: the buildtag fixture's two files declare the same names under
+// //go:build simcheck and !simcheck, so loading only type-checks when the
+// loader picks exactly the file set `go build` (no tags) would compile.
+func TestLoaderSkipsTaggedOutFiles(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, l, "buildtag")
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (the !simcheck variant only)", len(pkg.Files))
+	}
+	c, ok := pkg.Types.Scope().Lookup("Variant").(*types.Const)
+	if !ok {
+		t.Fatal("Variant not in package scope")
+	}
+	if got := c.Val().ExactString(); got != `"off"` {
+		t.Errorf("Variant = %s, want the !simcheck value %q", got, "off")
+	}
+}
 
 // TestMalformedAllow checks that an allow annotation without a reason is
 // itself reported rather than silently honoured.
@@ -205,7 +232,7 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerRoster pins the analyzer set the documentation promises.
 func TestAnalyzerRoster(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "nondeterminism,maporder,statsmerge,seedflow,poolslot"
+	want := "nondeterminism,maporder,statsmerge,seedflow,poolslot,allocfree,hotdiv,statreg,invariantcall"
 	if got != want {
 		t.Errorf("analyzer roster %q, want %q", got, want)
 	}

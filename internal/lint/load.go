@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -139,7 +141,11 @@ func (l *Loader) importModule(path string) (*types.Package, error) {
 }
 
 // parseDir parses every .go file of dir with comments preserved, sorted by
-// file name for deterministic package file order.
+// file name for deterministic package file order. Files whose //go:build
+// constraint is not satisfied by the default build configuration are
+// skipped, so tag-gated implementation pairs (the simcheck sanitizer's
+// sancheck_on.go/sancheck_off.go files) don't collide during type-checking;
+// the analyzers see exactly what a plain `go build` compiles.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -158,9 +164,37 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildIncluded reports whether f's //go:build constraint (if any) holds in
+// the default build configuration: host GOOS/GOARCH, the gc toolchain, any
+// go1.N version, and no custom tags — in particular simcheck is off.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+					strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 func newInfo() *types.Info {

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// newStatReg is the whole-program registration check that pairs statsmerge:
+// statsmerge proves every counter field is read somewhere; statreg proves
+// the struct itself is wired into the reflection merge/snapshot net —
+// stats.MergeNumeric, stats.SnapshotNumeric, stats.NumericFieldPaths —
+// which is what the experiment Runner and the completeness tests actually
+// traverse. A Stats struct that compiles, accumulates, and is even read by
+// its own package but never reaches the net silently drops out of merged
+// suite reports: exactly the shape of the PR-3 energy double-count bug.
+//
+// Registration is transitive through struct composition: passing sim.Result
+// to the net registers every Stats struct reachable from its fields.
+// Because the net's parameters are interface-typed (the registration
+// roster in internal/stats' tests is built as []any and walked by
+// reflection), two kinds of sites register a type:
+//
+//  1. a concrete argument type at a direct call of a net function, and
+//  2. any composite literal in a package that calls the net — the roster
+//     pattern, where the literal's static type is erased before the call.
+func newStatReg() *Analyzer {
+	a := &Analyzer{
+		Name: "statreg",
+		Doc:  "every Stats-like struct with exported numeric fields must be reachable from stats.MergeNumeric/SnapshotNumeric/NumericFieldPaths",
+	}
+	type declSite struct {
+		pos  token.Position
+		name string
+	}
+	declared := make(map[string]declSite) // "pkgpath.StructName" -> decl
+	registered := make(map[string]bool)   // "pkgpath.StructName"
+
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		pkgPath := strings.TrimSuffix(p.Pkg.Path, ".test")
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || !statsLike(pkgPath, ts.Name.Name) {
+					return true
+				}
+				carries := false
+				for _, field := range st.Fields.List {
+					tv, ok := info.Types[field.Type]
+					if !ok || !numericCarrier(tv.Type) {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.IsExported() {
+							carries = true
+						}
+					}
+				}
+				if !carries {
+					return true
+				}
+				key := pkgPath + "." + ts.Name.Name
+				if _, ok := declared[key]; !ok {
+					declared[key] = declSite{pos: p.Fset.Position(ts.Name.Pos()), name: key}
+				}
+				return true
+			})
+		}
+		callsNet := false
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !isStatsNetFunc(fn) {
+					return true
+				}
+				callsNet = true
+				for _, arg := range call.Args {
+					if tv, ok := info.Types[arg]; ok && tv.Type != nil {
+						registerType(registered, tv.Type, 0)
+					}
+				}
+				return true
+			})
+		}
+		if !callsNet {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if cl, ok := n.(*ast.CompositeLit); ok {
+					if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+						registerType(registered, tv.Type, 0)
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(report func(Diagnostic)) {
+		var keys []string
+		for key := range declared {
+			if !registered[key] {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			d := declared[key]
+			report(Diagnostic{
+				Analyzer: a.Name,
+				Pos:      d.pos,
+				File:     d.pos.Filename,
+				Line:     d.pos.Line,
+				Col:      d.pos.Column,
+				Message: fmt.Sprintf("Stats struct %s never reaches stats.MergeNumeric/SnapshotNumeric/NumericFieldPaths, directly or inside a registered struct; its counters bypass merged suite reports (add it to the registration roster or the reporting path)",
+					d.name),
+			})
+		}
+	}
+	return a
+}
+
+// isStatsNetFunc reports whether fn is one of the reflection-net entry
+// points in internal/stats.
+func isStatsNetFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/internal/stats") {
+		return false
+	}
+	switch fn.Name() {
+	case "MergeNumeric", "SnapshotNumeric", "NumericFieldPaths":
+		return true
+	}
+	return false
+}
+
+// registerType marks t and every named struct reachable through its
+// fields, pointers, slices, arrays, and maps as registered — mirroring
+// what reflect-based traversal in the net actually visits.
+func registerType(registered map[string]bool, t types.Type, depth int) {
+	if depth > 16 {
+		return
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		registerType(registered, u.Elem(), depth+1)
+	case *types.Slice:
+		registerType(registered, u.Elem(), depth+1)
+	case *types.Array:
+		registerType(registered, u.Elem(), depth+1)
+	case *types.Map:
+		registerType(registered, u.Key(), depth+1)
+		registerType(registered, u.Elem(), depth+1)
+	case *types.Named:
+		if st, ok := u.Underlying().(*types.Struct); ok {
+			if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+				key := strings.TrimSuffix(obj.Pkg().Path(), ".test") + "." + obj.Name()
+				if registered[key] {
+					return
+				}
+				registered[key] = true
+			}
+			registerStructFields(registered, st, depth)
+			return
+		}
+		registerType(registered, u.Underlying(), depth+1)
+	case *types.Struct:
+		registerStructFields(registered, u, depth)
+	}
+}
+
+func registerStructFields(registered map[string]bool, st *types.Struct, depth int) {
+	for i := 0; i < st.NumFields(); i++ {
+		registerType(registered, st.Field(i).Type(), depth+1)
+	}
+}

@@ -1,0 +1,55 @@
+package fixture
+
+// coldAlloc allocates freely: it is not hot (no annotation, not Tick/walk),
+// and hot-path membership is not transitive through callers.
+func coldAlloc() []uint64 {
+	s := make([]uint64, 4)
+	s = append(s, 9)
+	return s
+}
+
+// hotStructValue returns a plain struct value literal, which is register-
+// allocated and never flagged.
+//
+//lint:hotpath
+func (r *ring) hotStructValue() item {
+	return item{a: 2}
+}
+
+// hotPanic allocates only on the way to a crash; panic subtrees are exempt.
+//
+//lint:hotpath
+func (r *ring) hotPanic(i int) {
+	if i < 0 {
+		panic([]int{i})
+	}
+}
+
+// hotNilArg passes nil to an interface parameter: no boxing happens.
+//
+//lint:hotpath
+func (r *ring) hotNilArg() {
+	consume(nil)
+}
+
+// hotForward forwards an existing []any; no per-element boxing.
+//
+//lint:hotpath
+func (r *ring) hotForward(args []any) {
+	record(args...)
+}
+
+// hotAllowed documents an amortised growth case with the escape hatch.
+//
+//lint:hotpath
+func (r *ring) hotAllowed() {
+	//lint:allow allocfree growth is bounded by the ring size and amortises to zero
+	r.buf = append(r.buf, 1)
+}
+
+// hotIfaceArg passes a value that is already interface-typed: no conversion.
+//
+//lint:hotpath
+func (r *ring) hotIfaceArg(v any) {
+	consume(v)
+}

@@ -1,0 +1,74 @@
+// Package fixture is the allocfree analyzer's positive corpus: allocation
+// in hot-path functions, by annotation and by Tick/walk name matching.
+package fixture
+
+type ring struct {
+	buf   []uint64
+	items []item
+}
+
+type item struct{ a, b uint64 }
+
+func consume(v any) { _ = v }
+
+func record(args ...any) { _ = args }
+
+//lint:hotpath
+func (r *ring) hotClosure() func() {
+	return func() {} // want `builds a closure`
+}
+
+//lint:hotpath
+func (r *ring) hotAppend(v uint64) {
+	r.buf = append(r.buf, v) // want `calls append`
+}
+
+//lint:hotpath
+func (r *ring) hotMake() {
+	r.buf = make([]uint64, 8) // want `calls make`
+}
+
+//lint:hotpath
+func (r *ring) hotNew() *item {
+	return new(item) // want `calls new`
+}
+
+//lint:hotpath
+func (r *ring) hotAddrLit() *item {
+	return &item{a: 1} // want `address of a composite literal`
+}
+
+//lint:hotpath
+func (r *ring) hotSliceLit() {
+	sink = []uint64{1, 2} // want `builds a slice literal`
+}
+
+//lint:hotpath
+func (r *ring) hotMapLit() {
+	sinkMap = map[uint64]uint64{} // want `builds a map literal`
+}
+
+//lint:hotpath
+func (r *ring) hotBox(x uint64) {
+	consume(x) // want `passes a concrete value where an interface parameter`
+}
+
+//lint:hotpath
+func (r *ring) hotConvert(x uint64) any {
+	return any(x) // want `converts a concrete value to`
+}
+
+//lint:hotpath
+func (r *ring) hotVariadicBox(x uint64) {
+	record(x) // want `passes a concrete value where an interface parameter`
+}
+
+// Tick is hot by name: the per-cycle contract needs no annotation.
+func (r *ring) Tick(cycle uint64) {
+	r.items = append(r.items, item{a: cycle}) // want `calls append`
+}
+
+var (
+	sink    []uint64
+	sinkMap map[uint64]uint64
+)

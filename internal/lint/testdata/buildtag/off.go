@@ -1,0 +1,10 @@
+//go:build !simcheck
+
+// Package fixture checks the loader's build-tag filtering: this file and
+// its simcheck twin declare the same names, which only type-checks when
+// exactly one of them is loaded — the same one `go build` would compile.
+package fixture
+
+const Variant = "off"
+
+func Hook() {}

@@ -1,0 +1,7 @@
+//go:build simcheck
+
+package fixture
+
+const Variant = "on"
+
+func Hook() {}

@@ -1,0 +1,55 @@
+package fixture
+
+// hotMask uses the strength-reduced form the analyzer asks for.
+//
+//lint:hotpath
+func (g *geom) hotMask(addr uint64) uint64 {
+	return addr & (g.banks - 1)
+}
+
+// hotConstDiv divides by a compile-time constant: the compiler strength-
+// reduces that itself.
+//
+//lint:hotpath
+func hotConstDiv(addr uint64) uint64 {
+	return addr / 64
+}
+
+// coldDiv is not hot; out of scope.
+func coldDiv(g *geom, addr uint64) uint64 {
+	return addr % g.banks
+}
+
+// hotFloat divides floats: different hardware, out of scope.
+//
+//lint:hotpath
+func hotFloat(x, y float64) float64 {
+	return x / y
+}
+
+// hotCallResult divides by a per-iteration call result — the fix there is
+// hoisting the call, not masking, so it is not this analyzer's business.
+//
+//lint:hotpath
+func (g *geom) hotCallResult(addr uint64) uint64 {
+	return addr % g.dynamic()
+}
+
+func (g *geom) dynamic() uint64 { return g.banks + 1 }
+
+// hotAllowed documents a genuinely non-pow2 divisor with the escape hatch.
+//
+//lint:hotpath
+func (g *geom) hotAllowed(addr uint64) uint64 {
+	//lint:allow hotdiv bank count is deliberately non-power-of-two in this experiment
+	return addr % g.banks
+}
+
+// hotPanicDiv divides only on the way to a crash; panic subtrees are exempt.
+//
+//lint:hotpath
+func hotPanicDiv(g *geom, addr uint64) {
+	if addr == 0 {
+		panic(addr % g.banks)
+	}
+}

@@ -1,0 +1,33 @@
+// Package fixture is the hotdiv analyzer's positive corpus: integer
+// division and modulo by construction-time-fixed values in hot functions.
+package fixture
+
+type geom struct {
+	banks uint64
+	lines uint64
+}
+
+//lint:hotpath
+func (g *geom) hotMod(addr uint64) uint64 {
+	return addr % g.banks // want `modulo by g\.banks`
+}
+
+//lint:hotpath
+func (g *geom) hotDiv(addr uint64) uint64 {
+	return addr / g.lines // want `division by g\.lines`
+}
+
+//lint:hotpath
+func hotParam(addr, stride uint64) uint64 {
+	return addr / stride // want `division by stride`
+}
+
+//lint:hotpath
+func (g *geom) hotConv(addr uint64, n int) uint64 {
+	return addr % uint64(n) // want `modulo by uint64\(n\)`
+}
+
+// walk is hot by name.
+func walk(g *geom, addr uint64) uint64 {
+	return addr % g.banks // want `modulo by g\.banks`
+}

@@ -1,0 +1,43 @@
+package fixture
+
+import "repro/internal/stats"
+
+// WalkStats registers through a direct net call: its concrete type appears
+// as an argument of MergeNumeric.
+type WalkStats struct {
+	Loads  uint64
+	Stores uint64
+}
+
+func mergeWalk(dst, src *WalkStats) {
+	stats.MergeNumeric(dst, src)
+}
+
+// BankCounters registers transitively: it is reachable from RunStats,
+// which appears in the roster literal below.
+type BankCounters struct {
+	Writes uint64
+}
+
+// RunStats composes BankCounters, so registering it registers both.
+type RunStats struct {
+	Cycles uint64
+	Banks  []BankCounters
+}
+
+// roster mirrors the production registration pattern: the []any erases the
+// static types before the net call, so the analyzer credits every composite
+// literal in a net-calling package.
+func roster() []any {
+	return []any{&RunStats{}}
+}
+
+func snapshotAll() map[string]float64 {
+	out := map[string]float64{}
+	for _, v := range roster() {
+		for k, f := range stats.SnapshotNumeric(v) {
+			out[k] = f
+		}
+	}
+	return out
+}

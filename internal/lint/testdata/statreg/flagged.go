@@ -1,0 +1,34 @@
+// Package fixture is the statreg analyzer's corpus: Stats-like structs
+// must reach the stats reflection net. No composite literal of the orphan
+// types may appear anywhere in this package — the package calls the net,
+// so any literal would register its type via the roster rule.
+package fixture
+
+// OrphanStats accumulates counters but never reaches the net: its numbers
+// silently drop out of merged suite reports.
+type OrphanStats struct { // want `OrphanStats never reaches`
+	Hits   uint64
+	Misses uint64
+}
+
+// OrphanBankCounters is equally unreachable; slice-valued counters count.
+type OrphanBankCounters struct { // want `OrphanBankCounters never reaches`
+	Writes []uint64
+}
+
+// labelCounts is Stats-like by suffix but carries no exported numeric
+// field, so there is nothing the net could lose.
+type labelCounts struct {
+	Name string
+	tick uint64
+}
+
+var _ = labelCounts{}
+
+// AllowedStats is deliberately local to one debug dump; the escape hatch
+// records why it stays off the net.
+//
+//lint:allow statreg scratch counters for a debug dump, never merged across runs
+type AllowedStats struct {
+	Probes uint64
+}

@@ -58,6 +58,7 @@ type Mesh struct {
 	tiles    int
 	linkFree []uint64 // [tile*numDirs + dir] -> cycle the link is next free
 	stats    Stats
+	san      sanState // flit-conservation counters; zero-size without the simcheck tag
 }
 
 // New validates cfg and builds the mesh.
@@ -123,11 +124,14 @@ func abs(a int) int {
 // returns the arrival cycle at the destination. Routing is XY: fully along
 // the X dimension first, then Y, which is deadlock-free on a mesh. A
 // same-tile message arrives immediately (local bank access).
+//
+//lint:hotpath
 func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
 	if from < 0 || from >= m.tiles || to < 0 || to >= m.tiles {
 		panic(fmt.Sprintf("noc: tile out of range: %d -> %d (tiles=%d)", from, to, m.tiles))
 	}
 	if from == to {
+		m.sanCheckTraverse(from, to, start, start)
 		return start
 	}
 	m.stats.Messages++
@@ -172,6 +176,7 @@ func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
 		now = depart + hop
 		m.stats.TotalHops++
 	}
+	m.sanCheckTraverse(from, to, start, now)
 	return now
 }
 

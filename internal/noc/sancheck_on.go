@@ -1,0 +1,39 @@
+//go:build simcheck
+
+package noc
+
+import "repro/internal/sancheck"
+
+// sanState tracks flit conservation: every message Traverse injects must
+// come out the other side. The current mesh is synchronous (a traversal
+// resolves within the call), so in-flight is always zero by construction;
+// keeping the equation explicit means an asynchronous NoC model inherits
+// the check instead of losing it.
+type sanState struct {
+	injected  uint64
+	delivered uint64
+}
+
+// sanCheckTraverse validates one completed traversal: conservation
+// (injected = delivered + in-flight) and the latency envelope — a message
+// can never arrive before the contention-free minimum (hops x hop latency
+// from its start) nor after the worst case in which every hop stalls the
+// full contention window (the link model caps any single stall at the
+// window; longer reservations are slipped past, not waited on).
+func (m *Mesh) sanCheckTraverse(from, to int, start, arrival uint64) {
+	m.san.injected++
+	m.san.delivered++
+	if inFlight := m.san.injected - m.san.delivered; inFlight != 0 {
+		sancheck.Failf("noc: flit conservation broken: %d injected != %d delivered + %d in-flight",
+			m.san.injected, m.san.delivered, inFlight)
+	}
+	hops := uint64(m.Hops(from, to))
+	if min := start + hops*uint64(m.cfg.HopLatency); arrival < min {
+		sancheck.Failf("noc: message %d->%d arrived at cycle %d, before the contention-free minimum %d (start %d, %d hops)",
+			from, to, arrival, min, start, hops)
+	}
+	if max := start + hops*uint64(m.cfg.HopLatency+m.cfg.ContentionWindow); arrival > max {
+		sancheck.Failf("noc: message %d->%d arrived at cycle %d, beyond the worst-case bound %d (per-hop stall is capped by the %d-cycle contention window)",
+			from, to, arrival, max, m.cfg.ContentionWindow)
+	}
+}

@@ -128,6 +128,13 @@ type LLC struct {
 	// BankService (called at least once per LLC access and write-back).
 	readOcc, readLat   uint64
 	writeOcc, writeLat uint64
+
+	// Hoisted geometry for the per-access mapping path: line-address shift
+	// and bank masks replace divides/mods by the power-of-two-validated
+	// LineBytes and NumBanks.
+	lineShift    uint
+	snucaMask    uint64 // NumBanks-1
+	coreBankMask int    // NumBanks-1, int-typed for the Private mapping
 }
 
 // New builds the LLC. wear must be configured with matching bank count and
@@ -139,6 +146,9 @@ func New(cfg Config, wear *rram.Wear) (*LLC, error) {
 	if cfg.MeshWidth*cfg.MeshHeight != cfg.NumBanks {
 		return nil, fmt.Errorf("nuca: mesh %dx%d does not hold %d banks",
 			cfg.MeshWidth, cfg.MeshHeight, cfg.NumBanks)
+	}
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("nuca: line size %d not a power of two", cfg.LineBytes)
 	}
 	if wear == nil {
 		return nil, fmt.Errorf("nuca: nil wear tracker")
@@ -194,11 +204,18 @@ func New(cfg Config, wear *rram.Wear) (*LLC, error) {
 	l.readLat = uint64(l.cfg.BankLatency)
 	l.writeOcc = uint64(l.cfg.WriteOccupancy)
 	l.writeLat = uint64(l.cfg.WriteLatency)
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		l.lineShift++
+	}
+	l.snucaMask = uint64(cfg.NumBanks - 1)
+	l.coreBankMask = cfg.NumBanks - 1
 	return l, nil
 }
 
 // wearFrame maps a logical frame to its physical ReRAM row, applying the
 // rotating intra-bank remap when enabled, and advances the rotation.
+//
+//lint:hotpath
 func (l *LLC) wearFrame(bank int, frame uint64) uint64 {
 	if l.rotOffset == nil {
 		return frame
@@ -250,11 +267,16 @@ func (l *LLC) ResetStats() {
 
 func (l *LLC) lineAddr(addr uint64) uint64 { return addr &^ (l.cfg.LineBytes - 1) }
 
-// snucaBank and rnucaBank are the two primitive mappings.
+// snucaBank and rnucaBank are the two primitive mappings. snucaBank is the
+// shift/mask form of the exported SNUCABank, equivalent because LineBytes
+// and NumBanks are power-of-two-validated at construction.
+//
+//lint:hotpath
 func (l *LLC) snucaBank(addr uint64) int {
-	return SNUCABank(addr, l.cfg.LineBytes, l.cfg.NumBanks)
+	return int((addr >> l.lineShift) & l.snucaMask)
 }
 
+//lint:hotpath
 func (l *LLC) rnucaBank(addr uint64, core int) int {
 	return l.rmap.Bank(addr, core)
 }
@@ -263,6 +285,8 @@ func (l *LLC) rnucaBank(addr uint64, core int) int {
 // mbvCritical is the enhanced-TLB mapping bit (only consulted by Re-NUCA).
 // The returned count is 0 when the policy can prove a miss without probing
 // (Naive's directory says the line is absent).
+//
+//lint:hotpath
 func (l *LLC) probePlan(addr uint64, core int, mbvCritical bool) (probes [2]int, n int) {
 	switch l.cfg.Policy {
 	case SNUCA:
@@ -272,7 +296,7 @@ func (l *LLC) probePlan(addr uint64, core int, mbvCritical bool) (probes [2]int,
 		probes[0] = l.rnucaBank(addr, core)
 		return probes, 1
 	case PrivateLLC:
-		probes[0] = core % l.cfg.NumBanks
+		probes[0] = core & l.coreBankMask
 		return probes, 1
 	case NaiveWL:
 		if b, ok := l.dir[l.lineAddr(addr)]; ok {
@@ -307,6 +331,8 @@ func (l *LLC) probePlan(addr uint64, core int, mbvCritical bool) (probes [2]int,
 // is the fallback that recovers lines whose MBV bit was lost to a TLB
 // eviction; it is counted so the experiment harness can report how rare it
 // is.
+//
+//lint:hotpath
 func (l *LLC) Access(addr uint64, core int, critical, write bool) AccessResult {
 	probes, n := l.probePlan(addr, core, critical)
 	res := AccessResult{Bank: -1, Probes: probes, NumProbes: n}
@@ -356,6 +382,8 @@ func (l *LLC) recordWriteCriticality(critical bool) {
 
 // FillBank returns the bank a new line for addr/core/critical would be
 // installed into, without installing it (used by the simulator for timing).
+//
+//lint:hotpath
 func (l *LLC) FillBank(addr uint64, core int, critical bool) int {
 	switch l.cfg.Policy {
 	case SNUCA:
@@ -363,7 +391,7 @@ func (l *LLC) FillBank(addr uint64, core int, critical bool) int {
 	case RNUCA:
 		return l.rnucaBank(addr, core)
 	case PrivateLLC:
-		return core % l.cfg.NumBanks
+		return core & l.coreBankMask
 	case NaiveWL:
 		// Perfect wear-leveling: the bank with the fewest writes so far
 		// (Section III-A, "the cache controller chooses the bank with the
@@ -391,6 +419,8 @@ func (l *LLC) FillBank(addr uint64, core int, critical bool) int {
 // itself writes the ReRAM frame and is charged to the wear model; the
 // displaced victim, if any, is returned so the simulator can write back
 // dirty data, shoot down upper-level copies, and clear MBV bits.
+//
+//lint:hotpath
 func (l *LLC) Fill(addr uint64, core int, critical, dirty bool) FillResult {
 	bank := l.FillBank(addr, core, critical)
 	victim, frame := l.banks[bank].FillFrame(addr, dirty)
@@ -442,6 +472,8 @@ func (l *LLC) ResidentBanks(addr uint64) []int {
 // package noc for why single next-free timestamps need one), occupies it
 // for the read/write occupancy, and the data is available after the
 // read or write latency. It returns the completion cycle.
+//
+//lint:hotpath
 func (l *LLC) BankService(bank int, start uint64, write bool) uint64 {
 	const window = 64
 	begin := start

@@ -69,6 +69,7 @@ func SNUCABank(addr uint64, lineBytes uint64, numBanks int) int {
 type RNUCAMap struct {
 	clusterSize int
 	lineBytes   uint64
+	lineShift   uint    // log2(lineBytes), hoisted off the mapping path
 	clusters    [][]int // per core: the n banks of its cluster
 	rid         []int   // per core: rotational ID
 }
@@ -87,6 +88,7 @@ func NewRNUCAMap(width, height int, lineBytes uint64) (*RNUCAMap, error) {
 	m := &RNUCAMap{
 		clusterSize: 4,
 		lineBytes:   lineBytes,
+		lineShift:   log2u(lineBytes),
 		clusters:    make([][]int, n),
 		rid:         make([]int, n),
 	}
@@ -106,10 +108,22 @@ func NewRNUCAMap(width, height int, lineBytes uint64) (*RNUCAMap, error) {
 }
 
 // Bank returns the R-NUCA destination bank for addr requested by core.
+//
+//lint:hotpath
 func (m *RNUCAMap) Bank(addr uint64, core int) int {
-	la := addr / m.lineBytes
+	la := addr >> m.lineShift // lineBytes is power-of-two-validated at construction
 	idx := (la + uint64(m.rid[core]) + 1) & uint64(m.clusterSize-1)
 	return m.clusters[core][idx]
+}
+
+// log2u returns floor(log2(n)) for n >= 1.
+func log2u(n uint64) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
 }
 
 // Cluster returns the banks of a core's cluster (diagnostics/tests).

@@ -51,6 +51,7 @@ type Wear struct {
 	frames     [][]uint32 // [bank][frame] -> writes
 	bankWrites []uint64
 	maxFrame   []uint32 // running per-bank hottest frame count
+	san        sanState // wear-monotonicity shadow; zero-size without the simcheck tag
 }
 
 // New builds the wear tracker.
@@ -86,6 +87,8 @@ func MustNew(cfg Config) *Wear {
 func (w *Wear) Config() Config { return w.cfg }
 
 // RecordWrite charges one write to the given frame of the given bank.
+//
+//lint:hotpath
 func (w *Wear) RecordWrite(bank int, frame uint64) {
 	f := w.frames[bank] // panics on bad bank, which is a simulator bug
 	f[frame]++
@@ -93,6 +96,7 @@ func (w *Wear) RecordWrite(bank int, frame uint64) {
 	if f[frame] > w.maxFrame[bank] {
 		w.maxFrame[bank] = f[frame]
 	}
+	w.sanCheckWrite(bank, frame)
 }
 
 // Reset zeroes all wear state (warmup/measure boundary).
@@ -102,6 +106,7 @@ func (w *Wear) Reset() {
 		w.bankWrites[b] = 0
 		w.maxFrame[b] = 0
 	}
+	w.sanReset()
 }
 
 // BankWrites returns the total writes charged to a bank.

@@ -1,0 +1,13 @@
+//go:build !simcheck
+
+package rram
+
+// Without the simcheck build tag the sanitizer state is zero-size and the
+// hooks are empty no-ops the compiler erases. Build with `-tags simcheck`
+// (make simcheck) to arm the implementations in sancheck_on.go.
+
+type sanState struct{}
+
+func (w *Wear) sanCheckWrite(bank int, frame uint64) {}
+
+func (w *Wear) sanReset() {}

@@ -1,0 +1,52 @@
+//go:build simcheck
+
+package rram
+
+import "repro/internal/sancheck"
+
+// sanState shadows the per-bank hottest-frame counter so monotonicity
+// violations (wear can only grow between Resets) are caught even when a
+// corrupted maxFrame still looks internally consistent.
+type sanState struct {
+	lastMax []uint32
+}
+
+// sanCheckWrite validates the wear bookkeeping after one recorded write:
+// the frame counter must not have wrapped uint32, the bank's hottest-frame
+// counter dominates every individual frame just written, total bank writes
+// dominate the hottest frame, wear is monotone between Resets, and the
+// hottest frame stays within the configured cell endurance budget — past
+// it the linear lifetime extrapolation (paper Section V-A) is meaningless.
+func (w *Wear) sanCheckWrite(bank int, frame uint64) {
+	if w.san.lastMax == nil {
+		w.san.lastMax = make([]uint32, w.cfg.Banks) // first write, before steady state
+	}
+	f := w.frames[bank]
+	if f[frame] == 0 {
+		sancheck.Failf("rram: bank %d frame %d write counter wrapped uint32", bank, frame)
+	}
+	if f[frame] > w.maxFrame[bank] {
+		sancheck.Failf("rram: bank %d hottest-frame counter %d fell below frame %d's count %d",
+			bank, w.maxFrame[bank], frame, f[frame])
+	}
+	if w.maxFrame[bank] < w.san.lastMax[bank] {
+		sancheck.Failf("rram: bank %d hottest-frame counter moved backwards %d -> %d (wear must be monotone between Resets)",
+			bank, w.san.lastMax[bank], w.maxFrame[bank])
+	}
+	w.san.lastMax[bank] = w.maxFrame[bank]
+	if uint64(w.maxFrame[bank]) > w.bankWrites[bank] {
+		sancheck.Failf("rram: bank %d hottest frame counts %d writes but the whole bank recorded only %d",
+			bank, w.maxFrame[bank], w.bankWrites[bank])
+	}
+	if float64(w.maxFrame[bank]) > w.cfg.Endurance {
+		sancheck.Failf("rram: bank %d frame wear %d exceeded the cell endurance budget %g",
+			bank, w.maxFrame[bank], w.cfg.Endurance)
+	}
+}
+
+// sanReset clears the monotonicity shadow alongside Wear.Reset.
+func (w *Wear) sanReset() {
+	if w.san.lastMax != nil {
+		clear(w.san.lastMax)
+	}
+}

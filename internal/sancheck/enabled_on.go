@@ -1,0 +1,6 @@
+//go:build simcheck
+
+package sancheck
+
+// Enabled reports at compile time whether the invariant sanitizer is armed.
+const Enabled = true

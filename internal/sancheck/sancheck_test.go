@@ -1,0 +1,44 @@
+package sancheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailfPanicsWithPrefix(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("Failf panicked with %T, want string", r)
+		}
+		if !strings.HasPrefix(msg, "sancheck: ") {
+			t.Fatalf("panic message %q lacks the sancheck prefix", msg)
+		}
+		if !strings.Contains(msg, "line 0x40 state E") {
+			t.Fatalf("panic message %q did not format its arguments", msg)
+		}
+	}()
+	Failf("line %#x state %s", 0x40, "E")
+}
+
+func TestCores(t *testing.T) {
+	cases := []struct {
+		mask uint64
+		want string
+	}{
+		{0, "cores []"},
+		{1, "cores [0]"},
+		{1 << 5, "cores [5]"},
+		{1<<1 | 1<<3, "cores [1 3]"},
+		{1<<0 | 1<<63, "cores [0 63]"},
+	}
+	for _, c := range cases {
+		if got := Cores(c.mask); got != c.want {
+			t.Errorf("Cores(%#x) = %q, want %q", c.mask, got, c.want)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 // Load implements cpu.MemSystem: it resolves a load issued by core at
 // cycle, returning the data-available cycle, and mutates the hierarchy
 // (fills, evictions, wear, coherence) along the way.
+//
+//lint:hotpath
 func (s *System) Load(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
 	s.counters[core].Loads++
 	return s.walk(core, addr, critical, cycle, false)
@@ -18,6 +20,8 @@ func (s *System) Load(core int, pc, addr uint64, critical bool, cycle uint64) ui
 // Store implements cpu.MemSystem. The returned cycle is the store-buffer
 // acceptance time (the core does not wait for the write to reach memory);
 // the walk still runs so cache state, wear and contention advance.
+//
+//lint:hotpath
 func (s *System) Store(core int, pc, addr uint64, critical bool, cycle uint64) uint64 {
 	s.counters[core].Stores++
 	s.walk(core, addr, critical, cycle, true)
@@ -27,6 +31,8 @@ func (s *System) Store(core int, pc, addr uint64, critical bool, cycle uint64) u
 // walk performs the full hierarchy access for one memory operation and
 // returns the completion cycle. forStore requests write-allocate semantics:
 // the line ends up dirty in L1.
+//
+//lint:hotpath
 func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forStore bool) uint64 {
 	pa := paddr(core, vaddr)
 	line := pa &^ s.lineMask
@@ -125,6 +131,8 @@ func (s *System) walk(core int, vaddr uint64, critical bool, cycle uint64, forSt
 }
 
 // acquire updates the MESI directory for core's L2 obtaining the line.
+//
+//lint:hotpath
 func (s *System) acquire(line uint64, core int, forStore bool) {
 	if forStore {
 		invalidated, _ := s.dir.WriteAcquire(line, core)
@@ -144,6 +152,8 @@ func (s *System) acquire(line uint64, core int, forStore bool) {
 
 // fillL1 installs the line into core's L1 (dirty for stores) and cascades
 // the victim into L2.
+//
+//lint:hotpath
 func (s *System) fillL1(core int, pa uint64, dirty bool, t uint64) {
 	if s.l1[core].Peek(pa) {
 		if dirty {
@@ -165,6 +175,8 @@ func (s *System) fillL1(core int, pa uint64, dirty bool, t uint64) {
 
 // fillL2 installs the line into core's L2 (clean: dirtiness lives in L1
 // until eviction) and handles the displaced victim.
+//
+//lint:hotpath
 func (s *System) fillL2(core int, pa uint64, t uint64) {
 	if s.l2[core].Peek(pa) {
 		return
@@ -179,6 +191,8 @@ func (s *System) fillL2(core int, pa uint64, t uint64) {
 // preserve L1 subset of L2 (its dirtiness folds into the victim), the
 // directory releases the core's copy, and dirty data is written back to
 // the LLC — the write-back half of the paper's ReRAM write traffic.
+//
+//lint:hotpath
 func (s *System) handleL2Victim(core int, v cacheVictim, t uint64) {
 	dirty := v.Dirty
 	if _, d1 := s.l1[core].Invalidate(v.Addr); d1 {
@@ -219,6 +233,8 @@ func (s *System) handleL2Victim(core int, v cacheVictim, t uint64) {
 // handleLLCVictim processes an LLC eviction: inclusive shootdown of upper-
 // level copies, posted DRAM write-back of dirty data, and — under Re-NUCA —
 // resetting the owning core's MBV bit (Section IV-C).
+//
+//lint:hotpath
 func (s *System) handleLLCVictim(v cacheVictim, t uint64) {
 	if !v.Valid {
 		return

@@ -1,0 +1,28 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/nuca"
+	"repro/internal/sancheck"
+)
+
+// TestSanitizerArmedEndToEnd runs a small window of every policy with the
+// simcheck sanitizer armed. Any MESI, cache-conservation, NoC, DRAM or wear
+// invariant violation panics out of RunMeasured, so a clean pass here is the
+// end-to-end certificate that normal simulator traffic satisfies all
+// architectural invariants — not just the unit-level cases in each package's
+// sancheck tests.
+func TestSanitizerArmedEndToEnd(t *testing.T) {
+	if !sancheck.Enabled {
+		t.Fatal("simcheck build tag set but sancheck.Enabled is false")
+	}
+	for _, p := range nuca.Policies() {
+		s := smallSystem(t, p)
+		if _, err := s.RunMeasured(500, 2000); err != nil {
+			t.Fatalf("policy %v under simcheck: %v", p, err)
+		}
+	}
+}

@@ -174,6 +174,7 @@ type AppGen struct {
 	cdf     []float64 // cumulative region weights over memory accesses
 
 	aluPCBase   uint64
+	aluDraw     drawSpec // draw range over the profile's ALU PCs
 	memAccesses uint64
 
 	// Rolling ALU dependence chain (loop-carried scalar recurrence): each
@@ -200,6 +201,9 @@ type regionState struct {
 	stride uint64
 	pcBase uint64
 
+	lineDraw drawSpec // draw range over the region's lines
+	pcDraw   drawSpec // draw range over the region's static PCs
+
 	// Rolling dependence chain through this region's chained loads.
 	lastChain uint64
 	hasChain  bool
@@ -216,6 +220,7 @@ func NewAppGen(prof Profile, seed uint64) (*AppGen, error) {
 		r:    newRNG(seed ^ hashName(prof.Name)),
 	}
 	g.aluPCBase = hashName(prof.Name+"/alu") &^ 0x3
+	g.aluDraw = newDrawSpec(uint64(prof.ALUPCs))
 	var cum float64
 	// Regions are laid out in disjoint gigabyte-aligned slices of the
 	// virtual address space so their footprints never overlap.
@@ -228,12 +233,14 @@ func NewAppGen(prof Profile, seed uint64) (*AppGen, error) {
 		}
 		lines := (spec.SizeBytes + 63) / 64
 		g.regions = append(g.regions, regionState{
-			spec:   spec,
-			base:   uint64(i+1) << 30,
-			bytes:  lines * 64,
-			lines:  lines,
-			stride: stride,
-			pcBase: hashName(fmt.Sprintf("%s/r%d", prof.Name, i)) &^ 0x3,
+			spec:     spec,
+			base:     uint64(i+1) << 30,
+			bytes:    lines * 64,
+			lines:    lines,
+			stride:   stride,
+			pcBase:   hashName(fmt.Sprintf("%s/r%d", prof.Name, i)) &^ 0x3,
+			lineDraw: newDrawSpec(lines),
+			pcDraw:   newDrawSpec(uint64(spec.NumPCs)),
 		})
 	}
 	return g, nil
@@ -246,6 +253,8 @@ func (g *AppGen) Name() string { return g.prof.Name }
 func (g *AppGen) Profile() Profile { return g.prof }
 
 // Next implements Generator.
+//
+//lint:hotpath
 func (g *AppGen) Next(in *Instr) {
 	g.seq++
 	if g.pendingStore {
@@ -262,7 +271,7 @@ func (g *AppGen) Next(in *Instr) {
 	if g.r.float64() >= g.prof.MemFrac {
 		in.Kind = ALU
 		in.Addr = 0
-		in.PC = g.aluPCBase + 4*g.r.intn(uint64(g.prof.ALUPCs))
+		in.PC = g.aluPCBase + 4*g.aluDraw.draw(&g.r)
 		in.DepDist = 0
 		if g.r.float64() < g.prof.ALUDep {
 			// Join the rolling scalar recurrence: this is what bounds IPC
@@ -291,7 +300,7 @@ func (g *AppGen) Next(in *Instr) {
 	rs := &g.regions[ri]
 	switch rs.spec.Kind {
 	case Hot, Chase:
-		in.Addr = rs.base + g.r.intn(rs.lines)*64 + 8*g.r.intn(8)
+		in.Addr = rs.base + rs.lineDraw.draw(&g.r)*64 + 8*(g.r.next()&7)
 	case Warm, Stream:
 		in.Addr = rs.base + rs.cursor
 		rs.cursor += rs.stride
@@ -300,7 +309,7 @@ func (g *AppGen) Next(in *Instr) {
 		}
 	}
 	in.Kind = Load
-	in.PC = rs.pcBase + 8*g.r.intn(uint64(rs.spec.NumPCs))
+	in.PC = rs.pcBase + 8*rs.pcDraw.draw(&g.r)
 	in.DepDist = 0
 	if rs.spec.ChainFrac > 0 && g.r.float64() < rs.spec.ChainFrac {
 		// Chain this load to the region's previous chained load: the

@@ -87,7 +87,33 @@ func (r *rng) float64() float64 {
 	return float64(r.next()>>11) * 0x1p-53
 }
 
-// intn returns a uniform value in [0,n). n must be positive.
-func (r *rng) intn(n uint64) uint64 {
-	return r.next() % n
+// drawSpec is a memoised uniform-draw range: n is fixed when the generator
+// is built, so the power-of-two test (and mask) is paid once at construction
+// instead of a hardware modulo on every per-instruction draw. Both branches
+// consume exactly one rng step and agree bit-for-bit with `next() % n`, so
+// traces are unchanged by the memoisation.
+type drawSpec struct {
+	n    uint64
+	mask uint64
+	pow2 bool
+}
+
+// newDrawSpec builds the draw range for [0,n). n = 0 is preserved as an
+// invalid range that faults on the first draw, like the modulo it replaces.
+func newDrawSpec(n uint64) drawSpec {
+	return drawSpec{n: n, mask: n - 1, pow2: n != 0 && n&(n-1) == 0}
+}
+
+// draw returns a uniform value in [0,n).
+//
+//lint:hotpath
+func (d drawSpec) draw(r *rng) uint64 {
+	if d.pow2 {
+		return r.next() & d.mask
+	}
+	// Profiles are free to use non-power-of-two PC and line counts; the
+	// modulo only runs for those, and bit-identity with the historical
+	// draw discipline matters more than the residual divide.
+	//lint:allow hotdiv non-power-of-two draw ranges fall back to the exact modulo by design
+	return r.next() % d.n
 }
