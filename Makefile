@@ -36,11 +36,18 @@ simcheck:
 check: build vet lint test race
 
 # Hot-path microbenchmarks in short mode: per-package probe costs plus the
-# end-to-end single-simulation baseline. CI runs this as a smoke.
+# end-to-end single-simulation baseline. CI runs this as a smoke. The text
+# log is preserved verbatim and also distilled into BENCH.json (median
+# ns/op and ops-per-sec per benchmark) by renuca-benchjson; raise
+# BENCHCOUNT for a meaningful median (e.g. `make bench BENCHCOUNT=5`).
+BENCHTIME ?= 1x
+BENCHCOUNT ?= 1
 bench:
-	$(GO) test -run='^$$' -benchtime=1x \
+	$(GO) build -o /tmp/renuca-benchjson ./cmd/renuca-benchjson
+	$(GO) test -run='^$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) \
 		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim' \
-		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim
+		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim > /tmp/renuca-bench.txt
+	/tmp/renuca-benchjson -o BENCH.json < /tmp/renuca-bench.txt
 
 # One regeneration of every experiment as testing.B benchmarks.
 bench-full:

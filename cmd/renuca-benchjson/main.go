@@ -1,0 +1,120 @@
+// Command renuca-benchjson turns `go test -bench` text output into a
+// machine-readable benchmark summary. It tees stdin through to stdout
+// unchanged (so the human-readable bench log still shows in the terminal
+// and in CI) while parsing benchmark result lines, and writes a JSON
+// document with the median ns/op and derived ops/sec for every benchmark
+// seen — medians because with -count>1 the repeated lines of one benchmark
+// fold into a single robust figure.
+//
+// Usage:
+//
+//	go test -bench=. ./... | renuca-benchjson -o BENCH.json
+//
+// For the end-to-end simulation benchmarks one op is one simulation, so
+// ops/sec is sims/sec; the JSON reports it as per_sec for all benchmarks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g. "BenchmarkSingleSim-8  1  232123456 ns/op  12 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+)\s+ns/op`)
+
+// Entry is one benchmark's summary.
+type Entry struct {
+	Name string `json:"name"`
+	// Samples is how many result lines (runs) were folded; -count=N yields
+	// N samples per benchmark.
+	Samples int `json:"samples"`
+	// MedianNsPerOp is the median ns/op over the samples.
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	// PerSec is 1e9 / MedianNsPerOp — operations per second; for the
+	// whole-simulation benchmarks, simulations per second.
+	PerSec float64 `json:"per_sec"`
+}
+
+// Doc is the written BENCH.json shape.
+type Doc struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path for the JSON summary")
+	flag.Parse()
+
+	samples := make(map[string][]float64)
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	w := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := samples[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	w.Flush()
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "renuca-benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := Doc{Benchmarks: make([]Entry, 0, len(order))}
+	for _, name := range order {
+		xs := samples[name]
+		med := median(xs)
+		perSec := 0.0
+		if med > 0 {
+			perSec = 1e9 / med
+		}
+		doc.Benchmarks = append(doc.Benchmarks, Entry{
+			Name:          name,
+			Samples:       len(xs),
+			MedianNsPerOp: med,
+			PerSec:        perSec,
+		})
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "renuca-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "renuca-benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+}

@@ -8,11 +8,14 @@
 //	renuca-sim -policy snuca -apps mcf,hmmer,...   (16 names)
 //	renuca-sim -policy rnuca -workload WL3 -instr 1000000
 //	renuca-sim -all -workload WL1                  (all 5 policies, in parallel)
+//	renuca-sim -all -workload WL1 -shards 4        (all 5 policies, 4 worker processes)
 //
 // With -all, the five policies simulate concurrently on a bounded worker
 // pool (RENUCA_WORKERS or -workers, default one per CPU) and a comparison
 // table prints in the paper's policy order; the numbers are identical for
-// any worker count.
+// any worker count. With -shards N (or RENUCA_SHARDS), the simulations run
+// on N supervised worker processes instead — same bytes on stdout; the
+// wall-clock banner goes to stderr so outputs diff cleanly across modes.
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/nuca"
 	"repro/internal/pool"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -58,7 +63,17 @@ func main() {
 	listWL := flag.Bool("list-workloads", false, "print the standard workload mixes and exit")
 	all := flag.Bool("all", false, "run all five policies on the workload, in parallel, and print a comparison")
 	workers := flag.Int("workers", 0, "max concurrent simulations with -all (0 = RENUCA_WORKERS or one per CPU)")
+	shards := flag.Int("shards", 0, "with -all: run simulations on N worker processes (0 = RENUCA_SHARDS or in-process)")
+	shardWorker := flag.Bool("shard-worker", false, "(internal) run as a shard worker: units on stdin, results on stdout")
 	flag.Parse()
+
+	if *shardWorker {
+		if err := shard.RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listWL {
 		for _, wl := range workload.Standard(16) {
@@ -75,8 +90,13 @@ func main() {
 	}
 
 	var apps []string
+	wlName := *wlFlag
 	if *appsFlag != "" {
 		apps = strings.Split(*appsFlag, ",")
+		for i := range apps {
+			apps[i] = strings.TrimSpace(apps[i])
+		}
+		wlName = "custom"
 	} else {
 		wl, err := workload.ByName(*wlFlag, 16)
 		if err != nil {
@@ -95,7 +115,7 @@ func main() {
 	}
 	profs := make([]trace.Profile, 0, len(apps))
 	for _, a := range apps {
-		p, err := trace.ProfileFor(strings.TrimSpace(a))
+		p, err := trace.ProfileFor(a)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
 			os.Exit(1)
@@ -104,7 +124,7 @@ func main() {
 	}
 
 	if *all {
-		runAllPolicies(profs, *instr, *warmup, *seed, *threshold, *workers)
+		runAllPolicies(wlName, apps, *instr, *warmup, *seed, *threshold, *workers, pool.DefaultShards(*shards))
 		return
 	}
 
@@ -165,45 +185,74 @@ func main() {
 		stats.HarmonicMean(res.BankLifetimes), stats.Min(res.BankLifetimes), stats.Max(res.BankLifetimes))
 }
 
-// runAllPolicies simulates the workload under all five NUCA policies on a
-// bounded worker pool and prints a comparison table in the paper's policy
-// order. Each policy runs on its own System with the same seed, so the
-// table matches five sequential single-policy invocations exactly.
-func runAllPolicies(profs []trace.Profile, instr, warmup, seed uint64, threshold float64, workers int) {
+// runAllPolicies simulates the workload under all five NUCA policies and
+// prints a comparison table in the paper's policy order. Each policy is a
+// core.Unit with the same seed, executed either on the in-process worker
+// pool or — with shards > 0 — on supervised worker processes via the
+// shard coordinator; both paths file reports positionally and print the
+// identical table, so the two modes diff clean on stdout (wall-clock and
+// supervision chatter go to stderr).
+func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards int) {
 	policies := nuca.Policies()
-	results := make([]sim.Result, len(policies))
-	pl := pool.New(pool.DefaultWorkers(workers))
-	start := time.Now() //lint:allow nondeterminism table header reports wall-clock; results are seed-pure
-	err := pl.Map(len(policies), func(i int) error {
-		cfg := sim.DefaultConfig(policies[i])
-		cfg.Seed = seed
-		cfg.CPT.ThresholdPct = threshold
-		s, err := sim.New(cfg, profs)
+	units := make([]core.Unit, len(policies))
+	for i, p := range policies {
+		o := core.DefaultOptions(p)
+		o.Apps = apps
+		o.InstrPerCore = instr
+		o.Warmup = warmup
+		o.Seed = seed
+		o.CriticalityThresholdPct = threshold
+		units[i] = core.Unit{ID: "all/" + p.String() + "/" + wlName, Workload: wlName, Opts: o}
+	}
+	reports := make([]core.Report, len(units))
+	start := time.Now() //lint:allow nondeterminism banner reports wall-clock; results are seed-pure
+	var mode string
+	if shards > 0 {
+		cmdline, err := shard.SelfCommand("-shard-worker")
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
 		}
-		res, err := s.RunMeasured(warmup, instr)
+		coord := &shard.Coordinator{
+			Shards:  shards,
+			Command: cmdline,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			},
+		}
+		reps, err := coord.RunUnits(units)
 		if err != nil {
-			return fmt.Errorf("%s: %w", policies[i], err)
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
 		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
-		os.Exit(1)
+		copy(reports, reps)
+		mode = fmt.Sprintf("shards=%d", shards)
+	} else {
+		pl := pool.New(pool.DefaultWorkers(workers))
+		err := pl.Map(len(units), func(i int) error {
+			rep, err := core.RunUnit(units[i])
+			if err != nil {
+				return err
+			}
+			reports[i] = rep
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
+			os.Exit(1)
+		}
+		mode = fmt.Sprintf("workers=%d", pl.Size())
 	}
 
-	fmt.Printf("all policies, instr/core=%d workers=%d wall=%s\n\n",
-		instr, pl.Size(), //lint:allow nondeterminism table header reports wall-clock; results are seed-pure
+	fmt.Fprintf(os.Stderr, "# all policies, instr/core=%d %s wall=%s\n",
+		instr, mode, //lint:allow nondeterminism banner reports wall-clock; results are seed-pure
 		time.Since(start).Round(time.Millisecond))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tmean IPC\tmin life[y]\th-mean life[y]\twrite imbalance\tLLC writes")
-	for _, res := range results {
-		llcWrites := res.LLC.Fills + res.LLC.WritebackHits
+	for _, rep := range reports {
 		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.2f\t%.2f\t%d\n",
-			res.Policy, res.MeanIPC, res.MinLifetime,
-			stats.HarmonicMean(res.BankLifetimes), res.WriteImbalance, llcWrites)
+			rep.Policy, rep.MeanIPC, rep.MinLifetime,
+			stats.HarmonicMean(rep.BankLifetimes), rep.WriteImbalance, rep.LLCWrites())
 	}
 	w.Flush()
 }

@@ -228,24 +228,76 @@ func RunSuite(base Options, workloads []workload.Workload) (SuiteReport, error) 
 // seed derived from (base.Seed, workload name), and results are aggregated
 // in workload order, so the report is identical whatever the pool size.
 func RunSuiteOn(pl *pool.Pool, base Options, workloads []workload.Workload) (SuiteReport, error) {
-	sr := SuiteReport{Policy: base.Policy.String()}
-	sr.Reports = make([]Report, len(workloads))
-	err := pl.Map(len(workloads), func(i int) error {
-		wl := workloads[i]
-		o := base
-		o.Apps = wl.Apps
-		o.Seed = DeriveSeed(base.Seed, wl.Name)
-		rep, err := Run(o)
+	units := SuiteUnits("", base, workloads)
+	reports := make([]Report, len(units))
+	err := pl.Map(len(units), func(i int) error {
+		rep, err := RunUnit(units[i])
 		if err != nil {
-			return fmt.Errorf("%s on %s: %w", base.Policy, wl.Name, err)
+			return err
 		}
-		rep.Workload = wl.Name
-		sr.Reports[i] = rep
+		reports[i] = rep
 		return nil
 	})
 	if err != nil {
 		return SuiteReport{}, err
 	}
+	return AggregateSuite(base.Policy.String(), reports), nil
+}
+
+// Unit is one suite simulation work unit: fully resolved Options (policy,
+// apps, derived seed — everything a worker needs, all plain serialisable
+// data) plus the identity labels the aggregation layer files the result
+// under. Units are what the shard runner ships to worker processes; a unit
+// executed anywhere yields the identical Report because Options alone
+// determine the simulation.
+type Unit struct {
+	// ID is a stable human-readable key ("variant/policy/workload") used
+	// for dispatch bookkeeping and error attribution.
+	ID string
+	// Workload names the workload the unit simulates; it is copied onto
+	// the resulting Report exactly as RunSuiteOn does.
+	Workload string
+	// Opts is the complete simulation configuration, with Apps set and
+	// Seed already derived via DeriveSeed.
+	Opts Options
+}
+
+// SuiteUnits expands one suite — base options fanned over workloads — into
+// its units, deriving each unit's seed from (base.Seed, workload name)
+// exactly as RunSuiteOn always has. keyPrefix (a variant/policy chain, may
+// be empty) only namespaces the IDs; it never reaches the simulation.
+func SuiteUnits(keyPrefix string, base Options, workloads []workload.Workload) []Unit {
+	units := make([]Unit, len(workloads))
+	for i, wl := range workloads {
+		o := base
+		o.Apps = wl.Apps
+		o.Seed = DeriveSeed(base.Seed, wl.Name)
+		id := base.Policy.String() + "/" + wl.Name
+		if keyPrefix != "" {
+			id = keyPrefix + "/" + id
+		}
+		units[i] = Unit{ID: id, Workload: wl.Name, Opts: o}
+	}
+	return units
+}
+
+// RunUnit executes one unit in this process.
+func RunUnit(u Unit) (Report, error) {
+	rep, err := Run(u.Opts)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s on %s: %w", u.Opts.Policy, u.Workload, err)
+	}
+	rep.Workload = u.Workload
+	return rep, nil
+}
+
+// AggregateSuite folds per-workload Reports (in workload order) into the
+// paper's suite aggregates. It is the single aggregation path for both the
+// in-process pool runner and the multi-process shard runner: as long as
+// reports arrive positionally, the SuiteReport is byte-identical however
+// and wherever the simulations executed.
+func AggregateSuite(policy string, reports []Report) SuiteReport {
+	sr := SuiteReport{Policy: policy, Reports: reports}
 	var perBank [][]float64
 	var ipcs, all []float64
 	for _, rep := range sr.Reports {
@@ -264,7 +316,7 @@ func RunSuiteOn(pl *pool.Pool, base Options, workloads []workload.Workload) (Sui
 	sr.RawMinLifetime = stats.Min(all)
 	sr.MeanIPC = stats.Mean(ipcs)
 	sr.HMeanLifetime = stats.HarmonicMean(all)
-	return sr, nil
+	return sr
 }
 
 // StandardWorkloads returns the paper's WL1..WL10 for the 16-core system.

@@ -118,6 +118,13 @@ type Runner struct {
 	// serialises calls and prefixes each line with the suite key that
 	// produced it.
 	Log func(format string, args ...any)
+	// Exec, when non-nil, executes suite units out-of-process (the shard
+	// coordinator implements it). Suite simulations are then dispatched as
+	// one flat unit batch per variant instead of through the in-process
+	// pool; either path files every Report positionally and aggregates
+	// through core.AggregateSuite, so the suites are byte-identical.
+	// Characterisation runs and sweeps stay in-process either way.
+	Exec UnitRunner
 
 	logMu sync.Mutex
 	pool  *pool.Pool
@@ -156,33 +163,58 @@ func (r *Runner) logf(key, format string, args ...any) {
 // workloads returns the standard WL1..WL10.
 func (r *Runner) workloads() []workload.Workload { return core.StandardWorkloads() }
 
+// UnitRunner executes a batch of suite units and returns their Reports
+// positionally: reports[i] is units[i]'s result. internal/shard's
+// Coordinator is the production implementation; the interface lives here
+// so the experiment layer depends only on the contract, not on process
+// management.
+type UnitRunner interface {
+	RunUnits(units []core.Unit) ([]core.Report, error)
+}
+
+// policyOptions resolves the complete Options for one (variant, policy)
+// cell — scale parameters, the derived per-policy seed, then the variant's
+// modification. It is the single source of suite configuration for both
+// the in-process and the sharded execution paths; the per-workload seed
+// derivation on top of it happens in core.SuiteUnits either way.
+func (r *Runner) policyOptions(v Variant, p core.Policy) core.Options {
+	o := core.DefaultOptions(p)
+	o.InstrPerCore = r.P.InstrPerCore
+	o.Warmup = r.P.Warmup
+	o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
+	v.Mod(&o)
+	return o
+}
+
 // suiteSet runs (or returns the memoised) five-policy suite for a variant.
 // The five policies fan out concurrently; each policy's ten workloads fan
 // out inside core.RunSuiteOn. All leaf simulations gate on the shared pool,
 // and every result lands at its (policy, workload) position, so the suite
-// is identical for any worker count.
+// is identical for any worker count. With Exec set, the same units ship to
+// worker processes instead — same positions, same aggregation, same bytes.
 func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 	return r.suiteFlight.Do(v.Key, func() (map[string]core.SuiteReport, error) {
 		policies := core.Policies()
 		reports := make([]core.SuiteReport, len(policies))
-		// One coordinator per policy: pool.Coordinate holds no pool slot
-		// while the workload simulations queue, so nesting cannot deadlock.
-		err := pool.Coordinate(len(policies), func(i int) error {
-			p := policies[i]
-			o := core.DefaultOptions(p)
-			o.InstrPerCore = r.P.InstrPerCore
-			o.Warmup = r.P.Warmup
-			o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
-			v.Mod(&o)
-			r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
-			sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
-			if err != nil {
-				return fmt.Errorf("variant %s: %w", v.Key, err)
-			}
-			r.sims.Add(uint64(len(sr.Reports)))
-			reports[i] = sr
-			return nil
-		})
+		var err error
+		if r.Exec != nil {
+			err = r.suiteSetSharded(v, policies, reports)
+		} else {
+			// One coordinator per policy: pool.Coordinate holds no pool slot
+			// while the workload simulations queue, so nesting cannot deadlock.
+			err = pool.Coordinate(len(policies), func(i int) error {
+				p := policies[i]
+				o := r.policyOptions(v, p)
+				r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
+				sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
+				if err != nil {
+					return fmt.Errorf("variant %s: %w", v.Key, err)
+				}
+				r.sims.Add(uint64(len(sr.Reports)))
+				reports[i] = sr
+				return nil
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -192,4 +224,29 @@ func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 		}
 		return set, nil
 	})
+}
+
+// suiteSetSharded dispatches a variant's full policy-cross-workload unit
+// batch to r.Exec in one flat slice, then slices the positional reports
+// back per policy and aggregates each through core.AggregateSuite — the
+// identical fold the in-process path uses.
+func (r *Runner) suiteSetSharded(v Variant, policies []core.Policy, out []core.SuiteReport) error {
+	wls := r.workloads()
+	units := make([]core.Unit, 0, len(policies)*len(wls))
+	for _, p := range policies {
+		units = append(units, core.SuiteUnits(v.Key, r.policyOptions(v, p), wls)...)
+	}
+	r.logf(v.Key, "dispatching %d units (%d policies x %d workloads) to the shard runner", len(units), len(policies), len(wls))
+	reps, err := r.Exec.RunUnits(units)
+	if err != nil {
+		return fmt.Errorf("variant %s: %w", v.Key, err)
+	}
+	if len(reps) != len(units) {
+		return fmt.Errorf("variant %s: shard runner returned %d reports for %d units", v.Key, len(reps), len(units))
+	}
+	r.sims.Add(uint64(len(reps)))
+	for i, p := range policies {
+		out[i] = core.AggregateSuite(p.String(), reps[i*len(wls):(i+1)*len(wls)])
+	}
+	return nil
 }

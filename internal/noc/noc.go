@@ -57,8 +57,16 @@ type Mesh struct {
 	cfg      Config
 	tiles    int
 	linkFree []uint64 // [tile*numDirs + dir] -> cycle the link is next free
-	stats    Stats
-	san      sanState // flit-conservation counters; zero-size without the simcheck tag
+	// XY routes are fixed by the topology, so the per-hop coordinate
+	// arithmetic is evaluated once at construction: routeLinks holds the
+	// concatenated link indices of every (from, to) pair's route, and
+	// routeStart[from*tiles+to] : routeStart[from*tiles+to+1] brackets one
+	// route. Traverse then walks a precomputed link list instead of
+	// re-deriving coordinates and directions per hop per message.
+	routeStart []int32
+	routeLinks []int32
+	stats      Stats
+	san        sanState // flit-conservation counters; zero-size without the simcheck tag
 }
 
 // New validates cfg and builds the mesh.
@@ -76,7 +84,43 @@ func New(cfg Config) (*Mesh, error) {
 		return nil, fmt.Errorf("noc: zero contention window")
 	}
 	t := cfg.Width * cfg.Height
-	return &Mesh{cfg: cfg, tiles: t, linkFree: make([]uint64, t*int(numDirs))}, nil
+	m := &Mesh{cfg: cfg, tiles: t, linkFree: make([]uint64, t*int(numDirs))}
+	m.buildRoutes()
+	return m, nil
+}
+
+// buildRoutes precomputes the XY route of every (from, to) pair as a flat
+// list of directed-link indices into linkFree.
+func (m *Mesh) buildRoutes() {
+	m.routeStart = make([]int32, m.tiles*m.tiles+1)
+	m.routeLinks = make([]int32, 0, m.tiles*m.tiles*(m.cfg.Width+m.cfg.Height)/2)
+	for from := 0; from < m.tiles; from++ {
+		for to := 0; to < m.tiles; to++ {
+			m.routeStart[from*m.tiles+to] = int32(len(m.routeLinks))
+			x, y := m.coord(from)
+			tx, ty := m.coord(to)
+			for x != tx || y != ty {
+				var dir Direction
+				switch {
+				case x < tx:
+					dir = East
+					x++
+				case x > tx:
+					dir = West
+					x--
+				case y < ty:
+					dir = South
+					y++
+				default:
+					dir = North
+					y--
+				}
+				prev := tileAt(x, y, dir, m.cfg.Width)
+				m.routeLinks = append(m.routeLinks, int32(prev*int(numDirs)+int(dir)))
+			}
+		}
+	}
+	m.routeStart[m.tiles*m.tiles] = int32(len(m.routeLinks))
 }
 
 // MustNew is New that panics on error.
@@ -139,28 +183,8 @@ func (m *Mesh) Traverse(from, to int, start uint64, occupancy uint32) uint64 {
 	occ := uint64(occupancy)
 	hop := uint64(m.cfg.HopLatency)
 	window := uint64(m.cfg.ContentionWindow)
-	x, y := m.coord(from)
-	tx, ty := m.coord(to)
-	for x != tx || y != ty {
-		var dir Direction
-		switch {
-		case x < tx:
-			dir = East
-			x++
-		case x > tx:
-			dir = West
-			x--
-		case y < ty:
-			dir = South
-			y++
-		default:
-			dir = North
-			y--
-		}
-		// The link we just decided to take leaves the router at the tile we
-		// were at before stepping; recompute that tile id.
-		prev := tileAt(x, y, dir, m.cfg.Width)
-		li := prev*int(numDirs) + int(dir)
+	pair := from*m.tiles + to
+	for _, li := range m.routeLinks[m.routeStart[pair]:m.routeStart[pair+1]] {
 		depart := now
 		if free := m.linkFree[li]; free > depart {
 			if free-depart <= window {

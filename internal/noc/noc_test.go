@@ -193,3 +193,50 @@ func TestHopAccountingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPrecomputedRoutesMatchXY pins the construction-time route table to
+// the XY routing contract it memoises: every (from, to) route has exactly
+// Hops(from, to) links, each link index is in range, and the X dimension is
+// fully routed before the Y dimension (East/West links never follow a
+// North/South link).
+func TestPrecomputedRoutesMatchXY(t *testing.T) {
+	m := mesh4()
+	for from := 0; from < m.Tiles(); from++ {
+		for to := 0; to < m.Tiles(); to++ {
+			pair := from*m.Tiles() + to
+			route := m.routeLinks[m.routeStart[pair]:m.routeStart[pair+1]]
+			if len(route) != m.Hops(from, to) {
+				t.Fatalf("route %d->%d has %d links, want %d hops", from, to, len(route), m.Hops(from, to))
+			}
+			sawY := false
+			tile := from
+			for _, li := range route {
+				if int(li) < 0 || int(li) >= len(m.linkFree) {
+					t.Fatalf("route %d->%d link index %d out of range", from, to, li)
+				}
+				if int(li)/int(numDirs) != tile {
+					t.Fatalf("route %d->%d departs link %d from tile %d, want %d", from, to, li, int(li)/int(numDirs), tile)
+				}
+				dir := Direction(int(li) % int(numDirs))
+				switch dir {
+				case East:
+					tile++
+				case West:
+					tile--
+				case South:
+					tile += m.cfg.Width
+				case North:
+					tile -= m.cfg.Width
+				}
+				if dir == North || dir == South {
+					sawY = true
+				} else if sawY {
+					t.Fatalf("route %d->%d routes X after Y (not XY order)", from, to)
+				}
+			}
+			if tile != to {
+				t.Fatalf("route %d->%d ends at tile %d", from, to, tile)
+			}
+		}
+	}
+}

@@ -138,15 +138,27 @@ func (s *System) Snapshot(instrPerCore uint64) Result {
 		LLC:          s.llc.Stats(),
 	}
 	var lastDone uint64
+	var armedIPC []float64
 	for i := range s.cores {
-		window := s.doneAt[i] - s.measureStart
-		if s.doneAt[i] == 0 || window == 0 {
-			window = 1 // core never armed; avoid division by zero
+		// A core that never armed (doneAt == 0: it never reached a
+		// measurement target, e.g. under a zero-length measured window)
+		// contributes no IPC sample and does not stretch the aggregate
+		// window. The old window-of-1-cycle fallback reported instrPerCore
+		// instructions retiring in a single cycle — an absurd outlier that
+		// polluted MeanIPC and MeasuredCycles.
+		var ipc float64
+		if doneAt := s.doneAt[i]; doneAt != 0 {
+			window := doneAt - s.measureStart
+			if window == 0 {
+				window = 1 // finished at the reset boundary; avoid division by zero
+			}
+			if doneAt > lastDone {
+				lastDone = doneAt
+			}
+			ipc = float64(instrPerCore) / float64(window)
+			armedIPC = append(armedIPC, ipc)
 		}
-		if s.doneAt[i] > lastDone {
-			lastDone = s.doneAt[i]
-		}
-		r.IPC = append(r.IPC, float64(instrPerCore)/float64(window))
+		r.IPC = append(r.IPC, ipc)
 		ctr := s.Counters(i)
 		r.PerCore = append(r.PerCore, ctr)
 		ki := float64(instrPerCore) / 1000
@@ -160,10 +172,12 @@ func (s *System) Snapshot(instrPerCore uint64) Result {
 			r.PredictorAccuracy = append(r.PredictorAccuracy, 0)
 		}
 	}
-	r.MeanIPC = stats.Mean(r.IPC)
-	r.MeasuredCycles = lastDone - s.measureStart
+	r.MeanIPC = stats.Mean(armedIPC)
+	if lastDone > s.measureStart {
+		r.MeasuredCycles = lastDone - s.measureStart
+	}
 	if r.MeasuredCycles == 0 {
-		r.MeasuredCycles = 1
+		r.MeasuredCycles = 1 // no core armed: report a degenerate 1-cycle window
 	}
 	// LLCReads counts read probes only (hits and misses both cycle the
 	// array). Write traffic — fills and write-back hits — is already

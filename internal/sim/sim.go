@@ -141,6 +141,7 @@ type System struct {
 	l2Lat      uint64
 	tlbMissLat uint64
 	lineMask   uint64 // LLC.LineBytes-1
+	coreTile   []int  // core -> mesh tile, memoised off the per-walk path
 
 	counters []CoreCounters
 	frozen   []CoreCounters
@@ -193,6 +194,10 @@ func New(cfg Config, apps []trace.Profile) (*System, error) {
 	s.frozen = make([]CoreCounters, cfg.Cores)
 	s.isFrozen = make([]bool, cfg.Cores)
 	s.doneAt = make([]uint64, cfg.Cores)
+	s.coreTile = make([]int, cfg.Cores)
+	for i := range s.coreTile {
+		s.coreTile[i] = i % s.mesh.Tiles()
+	}
 
 	for i := 0; i < cfg.Cores; i++ {
 		l1cfg := cfg.L1
@@ -299,5 +304,8 @@ func (s *System) coreOf(addr uint64) int {
 	return int(addr>>coreAddrShift) % s.cfg.Cores
 }
 
-// tileOf maps a core to its mesh tile (one core and one bank per tile).
-func (s *System) tileOf(core int) int { return core % s.mesh.Tiles() }
+// tileOf maps a core to its mesh tile (one core and one bank per tile),
+// via the table built at New time.
+//
+//lint:hotpath
+func (s *System) tileOf(core int) int { return s.coreTile[core] }

@@ -296,3 +296,43 @@ func TestPaddrScatterStaysDisjoint(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotNeverArmedCoreExcluded: a core whose doneAt is still 0 (it
+// never reached a measurement target) must be excluded from the
+// MeasuredCycles/MeanIPC aggregation rather than contributing a fabricated
+// 1-cycle window — the old fallback reported instrPerCore instructions in
+// one cycle, an outlier that dominated MeanIPC, and underflowed
+// MeasuredCycles when no core had armed after a warmed-up reset.
+func TestSnapshotNeverArmedCoreExcluded(t *testing.T) {
+	s := smallSystem(t, nuca.ReNUCA)
+	if err := s.Run(2000); err != nil { // warm up so measureStart > 0
+		t.Fatal(err)
+	}
+	s.ResetStats()
+
+	// No measured Run: every core is unarmed.
+	res := s.Snapshot(1000)
+	if res.MeanIPC != 0 {
+		t.Errorf("MeanIPC with no armed core = %v, want 0", res.MeanIPC)
+	}
+	if res.MeasuredCycles != 1 {
+		t.Errorf("MeasuredCycles with no armed core = %d, want degenerate 1 (not a uint64 underflow)", res.MeasuredCycles)
+	}
+	for i, ipc := range res.IPC {
+		if ipc != 0 {
+			t.Errorf("core %d IPC = %v, want 0 for a never-armed core", i, ipc)
+		}
+	}
+
+	// A real measured window afterwards still reports normally.
+	if err := s.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	res = s.Snapshot(3000)
+	if res.MeanIPC <= 0 || res.MeanIPC > 4 {
+		t.Errorf("armed MeanIPC %v out of (0,4]", res.MeanIPC)
+	}
+	if res.MeasuredCycles <= 1 {
+		t.Errorf("armed MeasuredCycles %d, want > 1", res.MeasuredCycles)
+	}
+}
