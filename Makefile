@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race simcheck check bench bench-full profile
+.PHONY: build vet lint test race simcheck check bench bench-archive bench-full profile
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 # Race-detect the concurrency-bearing packages plus the top-level harness.
 # (`$(GO) test -race ./...` also works; this subset keeps the gate fast.)
 race:
-	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/experiments/ .
+	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/simbatch/ ./internal/experiments/ .
 
 # Full test suite with the runtime architectural-invariant sanitizer armed
 # (MESI legality, cache occupancy conservation, NoC latency envelopes, DRAM
@@ -45,9 +45,20 @@ BENCHCOUNT ?= 1
 bench:
 	$(GO) build -o /tmp/renuca-benchjson ./cmd/renuca-benchjson
 	$(GO) test -run='^$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) \
-		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim' \
+		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim|BenchmarkSuiteThroughput' \
 		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim > /tmp/renuca-bench.txt
 	/tmp/renuca-benchjson -o BENCH.json < /tmp/renuca-bench.txt
+
+# Snapshot the current BENCH.json into the per-PR history as BENCH_$(N).json
+# (e.g. `make bench-archive N=6` after `make bench BENCHCOUNT=3`). History is
+# append-only: an existing snapshot is never overwritten — renumber or delete
+# it explicitly if a snapshot really must be redone.
+bench-archive:
+	@test -n "$(N)" || { echo "usage: make bench-archive N=<pr-number>" >&2; exit 1; }
+	@test -f BENCH.json || { echo "no BENCH.json; run 'make bench' first" >&2; exit 1; }
+	@test ! -f BENCH_$(N).json || { echo "BENCH_$(N).json already exists; benchmark history is append-only" >&2; exit 1; }
+	cp BENCH.json BENCH_$(N).json
+	@echo "archived BENCH.json -> BENCH_$(N).json"
 
 # One regeneration of every experiment as testing.B benchmarks.
 bench-full:

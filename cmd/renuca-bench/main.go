@@ -23,9 +23,13 @@
 // goroutines; stdout is byte-identical either way at the same seed.
 // Characterisation runs and sweeps stay in-process.
 //
+// With -batch B (or RENUCA_BATCH), suite units run B at a time through the
+// lane-batched shared tick loop (internal/simbatch) — per pool task
+// in-process, per dispatch burst when sharded. Again byte-identical stdout.
+//
 // Scale knobs (environment): RENUCA_INSTR, RENUCA_WARMUP (16-core runs),
 // RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP (single-core characterisation),
-// RENUCA_SEED, RENUCA_WORKERS, RENUCA_SHARDS.
+// RENUCA_SEED, RENUCA_WORKERS, RENUCA_SHARDS, RENUCA_BATCH.
 package main
 
 import (
@@ -48,6 +52,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = RENUCA_WORKERS or one per CPU)")
 	shards := flag.Int("shards", 0, "run suite simulations on N worker processes (0 = RENUCA_SHARDS or in-process)")
+	batch := flag.Int("batch", 0, "lane-batch B suite simulations per task through one shared tick loop (0 = RENUCA_BATCH or unbatched)")
 	shardWorker := flag.Bool("shard-worker", false, "(internal) run as a shard worker: units on stdin, results on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -101,6 +106,9 @@ func main() {
 	if *workers > 0 {
 		params.Workers = *workers
 	}
+	if *batch > 0 {
+		params.Batch = *batch
+	}
 	r := experiments.NewRunner(params)
 	if !*quiet {
 		r.Log = func(format string, args ...any) {
@@ -116,6 +124,7 @@ func main() {
 		}
 		r.Exec = &shard.Coordinator{
 			Shards:  nShards,
+			Batch:   params.Batch,
 			Command: cmdline,
 			Log:     r.Log,
 		}

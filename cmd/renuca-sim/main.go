@@ -9,6 +9,7 @@
 //	renuca-sim -policy rnuca -workload WL3 -instr 1000000
 //	renuca-sim -all -workload WL1                  (all 5 policies, in parallel)
 //	renuca-sim -all -workload WL1 -shards 4        (all 5 policies, 4 worker processes)
+//	renuca-sim -all -workload WL1 -batch 5         (all 5 policies, one lane-batched tick loop)
 //
 // With -all, the five policies simulate concurrently on a bounded worker
 // pool (RENUCA_WORKERS or -workers, default one per CPU) and a comparison
@@ -16,6 +17,8 @@
 // any worker count. With -shards N (or RENUCA_SHARDS), the simulations run
 // on N supervised worker processes instead — same bytes on stdout; the
 // wall-clock banner goes to stderr so outputs diff cleanly across modes.
+// With -batch B (or RENUCA_BATCH), units run B per pool task (or B per
+// shard dispatch) through the lane-batched executor — again the same bytes.
 package main
 
 import (
@@ -64,6 +67,7 @@ func main() {
 	all := flag.Bool("all", false, "run all five policies on the workload, in parallel, and print a comparison")
 	workers := flag.Int("workers", 0, "max concurrent simulations with -all (0 = RENUCA_WORKERS or one per CPU)")
 	shards := flag.Int("shards", 0, "with -all: run simulations on N worker processes (0 = RENUCA_SHARDS or in-process)")
+	batch := flag.Int("batch", 0, "with -all: lane-batch B simulations per task through one shared tick loop (0 = RENUCA_BATCH or unbatched)")
 	shardWorker := flag.Bool("shard-worker", false, "(internal) run as a shard worker: units on stdin, results on stdout")
 	flag.Parse()
 
@@ -124,7 +128,8 @@ func main() {
 	}
 
 	if *all {
-		runAllPolicies(wlName, apps, *instr, *warmup, *seed, *threshold, *workers, pool.DefaultShards(*shards))
+		runAllPolicies(wlName, apps, *instr, *warmup, *seed, *threshold, *workers,
+			pool.DefaultShards(*shards), pool.DefaultBatch(*batch))
 		return
 	}
 
@@ -189,10 +194,10 @@ func main() {
 // prints a comparison table in the paper's policy order. Each policy is a
 // core.Unit with the same seed, executed either on the in-process worker
 // pool or — with shards > 0 — on supervised worker processes via the
-// shard coordinator; both paths file reports positionally and print the
-// identical table, so the two modes diff clean on stdout (wall-clock and
-// supervision chatter go to stderr).
-func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards int) {
+// shard coordinator; batch > 1 lane-batches units on either path. All
+// modes file reports positionally and print the identical table, so they
+// diff clean on stdout (wall-clock and supervision chatter go to stderr).
+func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards, batch int) {
 	policies := nuca.Policies()
 	units := make([]core.Unit, len(policies))
 	for i, p := range policies {
@@ -215,6 +220,7 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 		}
 		coord := &shard.Coordinator{
 			Shards:  shards,
+			Batch:   batch,
 			Command: cmdline,
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
@@ -229,19 +235,16 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 		mode = fmt.Sprintf("shards=%d", shards)
 	} else {
 		pl := pool.New(pool.DefaultWorkers(workers))
-		err := pl.Map(len(units), func(i int) error {
-			rep, err := core.RunUnit(units[i])
-			if err != nil {
-				return err
-			}
-			reports[i] = rep
-			return nil
-		})
+		reps, err := core.RunUnitsOn(pl, units, batch)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
 			os.Exit(1)
 		}
+		copy(reports, reps)
 		mode = fmt.Sprintf("workers=%d", pl.Size())
+	}
+	if batch > 1 {
+		mode += fmt.Sprintf(" batch=%d", batch)
 	}
 
 	fmt.Fprintf(os.Stderr, "# all policies, instr/core=%d %s wall=%s\n",

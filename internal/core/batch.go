@@ -1,0 +1,99 @@
+// Lane-batched unit execution: the batch strategy groups consecutive suite
+// units into lanes that advance through one shared tick loop (see
+// internal/simbatch), as an alternative to one pool task per unit. The
+// strategy is selected by a lane width — -batch/RENUCA_BATCH at the
+// frontends, resolved through pool.DefaultBatch — and engages only when a
+// suite hands the pool at least one full lane group of ready units; either
+// way every unit yields the identical Report.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/simbatch"
+)
+
+// UnitResult pairs one unit's Report with the error that stopped it, for
+// callers — the shard worker, the batch executor — that must account each
+// unit of a group individually instead of aborting on the first failure.
+type UnitResult struct {
+	Report Report
+	Err    error
+}
+
+// RunUnitsLanes executes units in the calling goroutine through the
+// lane-batched executor with the given lane width and returns one
+// UnitResult per unit, positionally. Reports and error text are identical
+// to RunUnit's — same construction path, same RunMeasured phase sequence,
+// same "<policy> on <workload>" wrapping — so batched execution is
+// indistinguishable from serial execution in everything but wall-clock.
+func RunUnitsLanes(units []Unit, lanes int) []UnitResult {
+	bus := make([]simbatch.Unit, len(units))
+	for i := range units {
+		o := units[i].Opts
+		bus[i] = simbatch.Unit{
+			Build:   func() (*sim.System, error) { return newSystem(o) },
+			Warmup:  o.Warmup,
+			Measure: o.InstrPerCore,
+		}
+	}
+	out := make([]UnitResult, len(units))
+	for i, r := range simbatch.Run(bus, lanes, 0) {
+		if r.Err != nil {
+			out[i].Err = fmt.Errorf("%s on %s: %w", units[i].Opts.Policy, units[i].Workload, r.Err)
+			continue
+		}
+		out[i].Report = Report{Result: r.Res, Workload: units[i].Workload, Apps: units[i].Opts.Apps}
+	}
+	return out
+}
+
+// RunUnitsOn executes units over the pool and returns their Reports
+// positionally. With batch <= 1, or fewer ready units than one full lane
+// group, each unit is its own pool task — the reference per-unit path.
+// With batch > 1 and len(units) >= batch, consecutive units group into
+// lane batches of that width and each group advances through one shared
+// tick loop on a single pool slot, so a worker amortises its scheduler
+// dispatch over batch simulations. The first failing unit (lowest index
+// among those observed) aborts the run with its error, matching the
+// per-unit path's pool.Map semantics.
+func RunUnitsOn(pl *pool.Pool, units []Unit, batch int) ([]Report, error) {
+	n := len(units)
+	reports := make([]Report, n)
+	if batch > 1 && n >= batch {
+		groups := (n + batch - 1) / batch
+		err := pl.Map(groups, func(g int) error {
+			lo := g * batch
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			for i, r := range RunUnitsLanes(units[lo:hi], hi-lo) {
+				if r.Err != nil {
+					return r.Err
+				}
+				reports[lo+i] = r.Report
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return reports, nil
+	}
+	err := pl.Map(n, func(i int) error {
+		rep, err := RunUnit(units[i])
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}

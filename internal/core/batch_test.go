@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/workload"
+)
+
+// suiteUnits6 builds a small mixed-policy unit set (2 policies x 3
+// workloads) with fully derived seeds, the shape RunUnitsOn receives from
+// the suite layer.
+func suiteUnits6() []Unit {
+	wls := workload.Standard(16)[:3]
+	var units []Unit
+	for _, p := range []Policy{SNUCA, ReNUCA} {
+		units = append(units, SuiteUnits("t", tinyOptions(p), wls)...)
+	}
+	return units
+}
+
+// TestRunUnitsLanesMatchesRunUnit pins the core equivalence: the
+// lane-batched executor must reproduce RunUnit's Reports exactly, at every
+// lane width, mixed policies and all.
+func TestRunUnitsLanesMatchesRunUnit(t *testing.T) {
+	units := suiteUnits6()
+	want := make([]Report, len(units))
+	for i, u := range units {
+		rep, err := RunUnit(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for _, lanes := range []int{1, 2, 4, 6} {
+		got := RunUnitsLanes(units, lanes)
+		for i := range want {
+			if got[i].Err != nil {
+				t.Fatalf("lanes=%d: unit %d errored: %v", lanes, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Report, want[i]) {
+				t.Errorf("lanes=%d: unit %d Report diverges from RunUnit", lanes, i)
+			}
+		}
+	}
+}
+
+// TestRunUnitsLanesErrorText pins that a failing unit carries the identical
+// "<policy> on <workload>" wrapping RunUnit produces.
+func TestRunUnitsLanesErrorText(t *testing.T) {
+	units := suiteUnits6()
+	units[2].Opts.Apps = append([]string{"nosuchapp"}, units[2].Opts.Apps[1:]...)
+	_, wantErr := RunUnit(units[2])
+	if wantErr == nil {
+		t.Fatal("reference unit did not fail")
+	}
+	got := RunUnitsLanes(units, 3)
+	if got[2].Err == nil || got[2].Err.Error() != wantErr.Error() {
+		t.Errorf("batched error %q, want %q", got[2].Err, wantErr)
+	}
+	for _, i := range []int{0, 1, 3, 4, 5} {
+		if got[i].Err != nil {
+			t.Errorf("healthy unit %d failed beside a broken one: %v", i, got[i].Err)
+		}
+	}
+}
+
+// TestRunUnitsOnBatchSelection covers the strategy switch: batch 0/1 and
+// n < batch take the per-unit pool path, larger batches take lane groups —
+// and every mode returns the same Reports.
+func TestRunUnitsOnBatchSelection(t *testing.T) {
+	units := suiteUnits6()
+	want, err := RunUnitsOn(pool.New(2), units, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 2, 4, 6, 7} { // 7 > len(units): falls back to per-unit
+		got, err := RunUnitsOn(pool.New(2), units, batch)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch=%d: Reports diverge from unbatched", batch)
+		}
+	}
+}
+
+// TestRunUnitsOnBatchError pins that the batched path surfaces the lowest-
+// indexed failure among those observed, like the per-unit pool path.
+func TestRunUnitsOnBatchError(t *testing.T) {
+	units := suiteUnits6()
+	units[1].Opts.Apps = append([]string{"nosuchapp"}, units[1].Opts.Apps[1:]...)
+	_, err := RunUnitsOn(pool.New(2), units, 3)
+	if err == nil {
+		t.Fatal("batched run must surface the unit failure")
+	}
+	if !strings.Contains(err.Error(), "WL2") {
+		t.Errorf("error %q does not name the failing workload", err)
+	}
+}
+
+// TestRunSuiteBatchedOnMatchesUnbatched checks the suite-level entry point:
+// aggregates from the batched path must equal the classic RunSuiteOn fold.
+func TestRunSuiteBatchedOnMatchesUnbatched(t *testing.T) {
+	wls := workload.Standard(16)[:4]
+	want, err := RunSuiteOn(pool.New(2), tinyOptions(ReNUCA), wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSuiteBatchedOn(pool.New(2), 4, tinyOptions(ReNUCA), wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched suite diverges from unbatched:\n got %+v\nwant %+v", got, want)
+	}
+}

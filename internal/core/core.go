@@ -140,21 +140,28 @@ func config(o Options) (sim.Config, error) {
 	return cfg, nil
 }
 
-// Run executes one workload under o and returns the Report.
-func Run(o Options) (Report, error) {
+// newSystem builds the simulator for fully-resolved Options. It is the
+// single construction path shared by the serial Run and the lane-batched
+// executor, so both modes simulate the identical machine.
+func newSystem(o Options) (*sim.System, error) {
 	cfg, err := config(o)
 	if err != nil {
-		return Report{}, err
+		return nil, err
 	}
 	profs := make([]trace.Profile, 0, len(o.Apps))
 	for _, name := range o.Apps {
 		p, err := trace.ProfileFor(name)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		profs = append(profs, p)
 	}
-	s, err := sim.New(cfg, profs)
+	return sim.New(cfg, profs)
+}
+
+// Run executes one workload under o and returns the Report.
+func Run(o Options) (Report, error) {
+	s, err := newSystem(o)
 	if err != nil {
 		return Report{}, err
 	}
@@ -228,16 +235,16 @@ func RunSuite(base Options, workloads []workload.Workload) (SuiteReport, error) 
 // seed derived from (base.Seed, workload name), and results are aggregated
 // in workload order, so the report is identical whatever the pool size.
 func RunSuiteOn(pl *pool.Pool, base Options, workloads []workload.Workload) (SuiteReport, error) {
+	return RunSuiteBatchedOn(pl, 0, base, workloads)
+}
+
+// RunSuiteBatchedOn is RunSuiteOn with a lane-batch width: with batch > 1
+// and at least batch ready units, consecutive units group into lane
+// batches that advance through one shared tick loop per pool task (see
+// RunUnitsOn). Batched and unbatched suites are byte-identical.
+func RunSuiteBatchedOn(pl *pool.Pool, batch int, base Options, workloads []workload.Workload) (SuiteReport, error) {
 	units := SuiteUnits("", base, workloads)
-	reports := make([]Report, len(units))
-	err := pl.Map(len(units), func(i int) error {
-		rep, err := RunUnit(units[i])
-		if err != nil {
-			return err
-		}
-		reports[i] = rep
-		return nil
-	})
+	reports, err := RunUnitsOn(pl, units, batch)
 	if err != nil {
 		return SuiteReport{}, err
 	}

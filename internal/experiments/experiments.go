@@ -41,6 +41,12 @@ type Params struct {
 	// 0 means auto: RENUCA_WORKERS if set, else one worker per CPU.
 	// Results are byte-identical for every worker count.
 	Workers int
+	// Batch is the lane width of the lane-batched executor
+	// (internal/simbatch): suites whose ready-unit count reaches Batch run
+	// that many simulations per pool task through one shared tick loop.
+	// 0 or 1 keeps the reference one-simulation-per-task path. Results are
+	// byte-identical for every lane width.
+	Batch int
 }
 
 // DefaultParams returns the standard scale.
@@ -55,9 +61,9 @@ func DefaultParams() Params {
 }
 
 // ParamsFromEnv starts from DefaultParams and applies the RENUCA_INSTR,
-// RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP, RENUCA_SEED and
-// RENUCA_WORKERS environment overrides, so benchmark runs can be scaled
-// without editing code.
+// RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP, RENUCA_SEED,
+// RENUCA_WORKERS and RENUCA_BATCH environment overrides, so benchmark runs
+// can be scaled without editing code.
 func ParamsFromEnv() Params {
 	p := DefaultParams()
 	get := func(name string, dst *uint64) {
@@ -73,6 +79,7 @@ func ParamsFromEnv() Params {
 	get("RENUCA_CHAR_WARMUP", &p.CharWarmup)
 	get("RENUCA_SEED", &p.Seed)
 	p.Workers = pool.DefaultWorkers(0)
+	p.Batch = pool.DefaultBatch(0)
 	return p
 }
 
@@ -188,10 +195,12 @@ func (r *Runner) policyOptions(v Variant, p core.Policy) core.Options {
 
 // suiteSet runs (or returns the memoised) five-policy suite for a variant.
 // The five policies fan out concurrently; each policy's ten workloads fan
-// out inside core.RunSuiteOn. All leaf simulations gate on the shared pool,
-// and every result lands at its (policy, workload) position, so the suite
-// is identical for any worker count. With Exec set, the same units ship to
-// worker processes instead — same positions, same aggregation, same bytes.
+// out inside core.RunSuiteBatchedOn — per-unit pool tasks by default, lane
+// groups through the shared batch tick loop when P.Batch selects them. All
+// leaf simulations gate on the shared pool, and every result lands at its
+// (policy, workload) position, so the suite is identical for any worker
+// count and lane width. With Exec set, the same units ship to worker
+// processes instead — same positions, same aggregation, same bytes.
 func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 	return r.suiteFlight.Do(v.Key, func() (map[string]core.SuiteReport, error) {
 		policies := core.Policies()
@@ -206,7 +215,7 @@ func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 				p := policies[i]
 				o := r.policyOptions(v, p)
 				r.logf(v.Key, "policy %-8s (10 workloads x %d instr/core)", p, o.InstrPerCore)
-				sr, err := core.RunSuiteOn(r.pool, o, r.workloads())
+				sr, err := core.RunSuiteBatchedOn(r.pool, r.P.Batch, o, r.workloads())
 				if err != nil {
 					return fmt.Errorf("variant %s: %w", v.Key, err)
 				}

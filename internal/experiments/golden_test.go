@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +44,16 @@ func TestSuiteGoldenOutput(t *testing.T) {
 	parallelP := tinyParams()
 	parallelP.Workers = 8
 	compareGolden(t, "Workers=8", renderSuiteOutputs(t, parallelP), string(want))
+
+	// The lane-batched executor must leave the bytes alone too, at every
+	// lane width: 1 (degenerate), 4 (groups with a remainder), 8 (lanes
+	// retire and refill across a policy's ten workloads).
+	for _, b := range []int{1, 4, 8} {
+		bp := tinyParams()
+		bp.Workers = 8
+		bp.Batch = b
+		compareGolden(t, fmt.Sprintf("Batch=%d", b), renderSuiteOutputs(t, bp), string(want))
+	}
 }
 
 // compareGolden fails with the first differing line rather than dumping two

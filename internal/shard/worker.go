@@ -36,38 +36,82 @@ func envInt(name string) int {
 }
 
 // RunWorker is the worker half of the shard protocol: it reads unit lines
-// from r until EOF, runs each unit in-process via core.RunUnit, and writes
-// one result (or error) line per unit to w, followed by a single stats
-// line. It is the body of the hidden -shard-worker mode of renuca-sim and
+// from r until EOF, runs each unit in-process via core.RunUnit — or each
+// burst-announced group via the lane-batched executor — and writes one
+// result (or error) line per unit to w, followed by a single stats line.
+// It is the body of the hidden -shard-worker mode of renuca-sim and
 // renuca-bench; nothing else may write to w (stdout) while it runs, or the
 // line protocol is corrupted.
 //
-// Units execute strictly serially: process-level parallelism is the
-// coordinator's job (N workers), and one simulation per process keeps the
-// worker's memory footprint and failure blast-radius to a single unit.
+// Within one worker, execution is strictly sequential: process-level
+// parallelism is the coordinator's job (N workers). A burst group advances
+// its units through one shared tick loop (lane width = group size), which
+// amortises scheduler dispatch without growing the blast radius beyond the
+// group the coordinator chose to co-schedule.
 func RunWorker(r io.Reader, w io.Writer) error {
-	crashAfter := envInt(envCrashAfter)
-	hangAfter := envInt(envHangAfter)
-	bw := bufio.NewWriter(w)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	var ws WorkerStats
-	seen := 0
-	for sc.Scan() {
-		line := sc.Bytes()
+	wk := &worker{
+		crashAfter: envInt(envCrashAfter),
+		hangAfter:  envInt(envHangAfter),
+		bw:         bufio.NewWriter(w),
+		sc:         bufio.NewScanner(r),
+	}
+	wk.sc.Buffer(make([]byte, 64<<10), maxLine)
+	for {
+		um, ok, err := wk.readUnit()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		group := []unitMsg{um}
+		for len(group) < um.Burst {
+			next, ok, err := wk.readUnit()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("shard worker: stdin closed %d units into a burst of %d", len(group), um.Burst)
+			}
+			group = append(group, next)
+		}
+		if err := wk.runGroup(group); err != nil {
+			return err
+		}
+	}
+	return writeMsg(wk.bw, workerMsg{Kind: msgStats, Stats: &wk.ws})
+}
+
+// worker carries RunWorker's streaming state so burst gathering and group
+// execution share the scanner, writer, counters and fault-injection hooks.
+type worker struct {
+	crashAfter, hangAfter int
+	bw                    *bufio.Writer
+	sc                    *bufio.Scanner
+	ws                    WorkerStats
+	seen                  int
+}
+
+// readUnit pulls the next unit line (skipping blanks), applying the
+// fault-injection hooks at the exact per-unit points the supervision tests
+// expect: a crash or hang triggered mid-burst leaves every accepted unit of
+// that burst unanswered, the shape the coordinator must recover from.
+func (wk *worker) readUnit() (unitMsg, bool, error) {
+	for wk.sc.Scan() {
+		line := wk.sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		var um unitMsg
 		if err := json.Unmarshal(line, &um); err != nil {
-			return fmt.Errorf("shard worker: undecodable unit line: %w", err)
+			return unitMsg{}, false, fmt.Errorf("shard worker: undecodable unit line: %w", err)
 		}
-		seen++
-		if crashAfter > 0 && seen > crashAfter {
-			bw.Flush()
+		wk.seen++
+		if wk.crashAfter > 0 && wk.seen > wk.crashAfter {
+			wk.bw.Flush()
 			os.Exit(3) // fault injection: die holding an unfinished unit
 		}
-		if hangAfter > 0 && seen > hangAfter {
+		if wk.hangAfter > 0 && wk.seen > wk.hangAfter {
 			// Fault injection: accept the unit, never answer. Sleep rather
 			// than block on a channel so the runtime's deadlock detector
 			// doesn't turn the hang into a crash.
@@ -75,25 +119,49 @@ func RunWorker(r io.Reader, w io.Writer) error {
 				time.Sleep(time.Hour)
 			}
 		}
+		return um, true, nil
+	}
+	if err := wk.sc.Err(); err != nil {
+		return unitMsg{}, false, fmt.Errorf("shard worker: reading units: %w", err)
+	}
+	return unitMsg{}, false, nil
+}
+
+// runGroup executes one dispatch group — a single unit via core.RunUnit, a
+// burst via the lane-batched executor — and answers one message per unit in
+// group order. Both paths produce identical Reports and identical error
+// text; the coordinator cannot tell them apart except by throughput.
+func (wk *worker) runGroup(group []unitMsg) error {
+	if len(group) == 1 {
+		um := group[0]
 		rep, err := core.RunUnit(um.Unit)
 		if err != nil {
-			ws.UnitsFailed++
-			if werr := writeMsg(bw, workerMsg{Kind: msgError, Seq: um.Seq, ID: um.Unit.ID, Error: err.Error()}); werr != nil {
-				return werr
-			}
-			continue
+			return wk.answer(um, core.UnitResult{Err: err})
 		}
-		ws.UnitsRun++
-		ws.InstrSimulated += um.Unit.Opts.InstrPerCore * uint64(len(um.Unit.Opts.Apps))
-		ws.MeasuredCycles += rep.MeasuredCycles
-		if werr := writeMsg(bw, workerMsg{Kind: msgResult, Seq: um.Seq, ID: um.Unit.ID, Report: &rep}); werr != nil {
-			return werr
+		return wk.answer(um, core.UnitResult{Report: rep})
+	}
+	units := make([]core.Unit, len(group))
+	for i, um := range group {
+		units[i] = um.Unit
+	}
+	for i, r := range core.RunUnitsLanes(units, len(units)) {
+		if err := wk.answer(group[i], r); err != nil {
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("shard worker: reading units: %w", err)
+	return nil
+}
+
+// answer writes one unit's result or error line and books its statistics.
+func (wk *worker) answer(um unitMsg, r core.UnitResult) error {
+	if r.Err != nil {
+		wk.ws.UnitsFailed++
+		return writeMsg(wk.bw, workerMsg{Kind: msgError, Seq: um.Seq, ID: um.Unit.ID, Error: r.Err.Error()})
 	}
-	return writeMsg(bw, workerMsg{Kind: msgStats, Stats: &ws})
+	wk.ws.UnitsRun++
+	wk.ws.InstrSimulated += um.Unit.Opts.InstrPerCore * uint64(len(um.Unit.Opts.Apps))
+	wk.ws.MeasuredCycles += r.Report.MeasuredCycles
+	return writeMsg(wk.bw, workerMsg{Kind: msgResult, Seq: um.Seq, ID: um.Unit.ID, Report: &r.Report})
 }
 
 // writeMsg emits one protocol line and flushes, so the coordinator sees

@@ -31,38 +31,69 @@ func (s *System) ResetStats() {
 	s.measureStart = s.cycle
 }
 
-// Run executes until every core has committed instrPerCore further
-// instructions. A core halts once it crosses its target: its statistics
-// freeze and it stops generating traffic. (Letting finished cores run on
-// would keep late-window contention marginally more realistic for the
-// slowest core, but multiplies wall-clock by the IPC spread; the finished
-// cores are the low-write ones, so wear distributions are essentially
-// unaffected.) It returns an error if the safety cycle bound is exceeded.
-func (s *System) Run(instrPerCore uint64) error {
+// halted marks a core that reached its instruction target and left the
+// wake schedule.
+const halted = ^uint64(0)
+
+// RunState is the resumable scheduler state of one Run window. The zero
+// value is inert until BeginRun arms it. It exists so an external driver —
+// the lane-batched executor in internal/simbatch — can advance a System in
+// bounded quanta, with the per-core wake schedule held in a caller-owned
+// slice (one contiguous lane window of a batch-wide SoA array).
+type RunState struct {
+	wake      []uint64 // per-core next-wake cycle; halted once frozen
+	remaining int      // cores still short of their instruction target
+	start     uint64   // cycle at BeginRun, anchoring the safety bound
+	instr     uint64   // per-core target, for the safety-bound error
+}
+
+// BeginRun arms a run of instrPerCore further instructions on every core
+// and records the scheduler state in rs. wake must either be nil (a private
+// slice is allocated) or hold one slot per core; it is the caller's way to
+// place the wake schedule inside a larger struct-of-arrays allocation. It
+// reports whether there is anything to execute: a zero instruction target
+// completes immediately, exactly like Run(0).
+func (s *System) BeginRun(rs *RunState, wake []uint64, instrPerCore uint64) bool {
 	if instrPerCore == 0 {
-		return nil
+		rs.remaining = 0
+		return false
 	}
 	for i := range s.cores {
 		s.cores[i].SetTarget(instrPerCore)
 		s.isFrozen[i] = false
 	}
-	if s.nextWake == nil {
-		s.nextWake = make([]uint64, len(s.cores))
+	if wake == nil {
+		wake = make([]uint64, len(s.cores))
 	}
-	nextWake := s.nextWake
-	for i := range nextWake {
-		nextWake[i] = s.cycle
+	for i := range wake {
+		wake[i] = s.cycle
 	}
-	const halted = ^uint64(0)
-	remaining := len(s.cores)
-	start := s.cycle
-	// Each pass ticks every core due at the current cycle and, in the same
-	// sweep, tracks the earliest wake among running cores, so the next pass
-	// jumps straight there without a separate min-scan over the wake list.
-	for remaining > 0 {
+	rs.wake = wake
+	rs.remaining = len(s.cores)
+	rs.start = s.cycle
+	rs.instr = instrPerCore
+	return true
+}
+
+// StepRun advances an armed run by at most maxPasses scheduler passes and
+// reports whether the run completed. Each pass ticks every core due at the
+// current cycle and, in the same sweep, tracks the earliest wake among
+// running cores, so the next pass jumps straight there without a separate
+// min-scan over the wake list. Chunking a run into StepRun quanta mutates
+// the System through the identical sequence of ticks as one uninterrupted
+// Run — lane-batched and serial execution are byte-identical by
+// construction.
+//
+//lint:hotpath
+func (s *System) StepRun(rs *RunState, maxPasses int) (bool, error) {
+	if rs.remaining <= 0 {
+		return true, nil
+	}
+	wake := rs.wake
+	for pass := 0; pass < maxPasses; pass++ {
 		min := halted
 		for i := range s.cores {
-			w := nextWake[i]
+			w := wake[i]
 			if w <= s.cycle {
 				w = s.cores[i].Tick(s.cycle)
 				if !s.isFrozen[i] {
@@ -71,27 +102,57 @@ func (s *System) Run(instrPerCore uint64) error {
 						s.frozen[i] = s.counters[i]
 						s.doneAt[i] = at
 						w = halted
-						remaining--
+						rs.remaining--
 					}
 				}
-				nextWake[i] = w
+				wake[i] = w
 			}
 			if w < min {
 				min = w
 			}
 		}
-		if remaining == 0 {
-			break
+		if rs.remaining == 0 {
+			return true, nil
 		}
 		if min > s.cycle {
 			s.cycle = min
 		}
-		if s.cycle-start > s.cfg.MaxRunCycles {
-			return fmt.Errorf("sim: exceeded %d cycles without reaching %d instructions per core",
-				s.cfg.MaxRunCycles, instrPerCore)
+		if s.cycle-rs.start > s.cfg.MaxRunCycles {
+			return false, s.budgetExceeded(rs)
 		}
 	}
-	return nil
+	return false, nil
+}
+
+// budgetExceeded builds the safety-bound error. It lives outside the hot
+// loop so the formatting machinery (and its interface boxing) stays off the
+// StepRun fast path.
+func (s *System) budgetExceeded(rs *RunState) error {
+	return fmt.Errorf("sim: exceeded %d cycles without reaching %d instructions per core",
+		s.cfg.MaxRunCycles, rs.instr)
+}
+
+// Run executes until every core has committed instrPerCore further
+// instructions. A core halts once it crosses its target: its statistics
+// freeze and it stops generating traffic. (Letting finished cores run on
+// would keep late-window contention marginally more realistic for the
+// slowest core, but multiplies wall-clock by the IPC spread; the finished
+// cores are the low-write ones, so wear distributions are essentially
+// unaffected.) It returns an error if the safety cycle bound is exceeded.
+func (s *System) Run(instrPerCore uint64) error {
+	if s.nextWake == nil {
+		s.nextWake = make([]uint64, len(s.cores))
+	}
+	var rs RunState
+	if !s.BeginRun(&rs, s.nextWake, instrPerCore) {
+		return nil
+	}
+	for {
+		done, err := s.StepRun(&rs, 1<<30)
+		if done || err != nil {
+			return err
+		}
+	}
 }
 
 // Result summarises one measured run.

@@ -1,0 +1,188 @@
+package simbatch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// testUnit builds a cheap single-core unit with its own seed and windows.
+// Staggered measure windows make lanes retire at different cycle counts,
+// which is exactly what the refill machinery must survive.
+func testUnit(t *testing.T, app string, seed, warmup, measure uint64) (Unit, sim.Config) {
+	t.Helper()
+	cfg := sim.CharacterisationConfig()
+	cfg.Seed = seed
+	prof := trace.MustProfile(app)
+	return Unit{
+		Build:   func() (*sim.System, error) { return sim.New(cfg, []trace.Profile{prof}) },
+		Warmup:  warmup,
+		Measure: measure,
+	}, cfg
+}
+
+// serialResult is the reference execution: the classic per-unit
+// RunMeasured path the batch must reproduce byte for byte.
+func serialResult(t *testing.T, u Unit) Result {
+	t.Helper()
+	s, err := u.Build()
+	if err != nil {
+		return Result{Err: err}
+	}
+	res, err := s.RunMeasured(u.Warmup, u.Measure)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{Res: res}
+}
+
+// staggeredUnits returns a unit set whose measured windows differ by up to
+// 8x, so in any multi-lane batch the short units retire and their lanes
+// refill while long units are still mid-window.
+func staggeredUnits(t *testing.T) []Unit {
+	t.Helper()
+	apps := []string{"mcf", "hmmer", "streamL", "namd", "mcf", "hmmer", "namd"}
+	measures := []uint64{24_000, 3_000, 9_000, 6_000, 18_000, 3_000, 12_000}
+	units := make([]Unit, len(apps))
+	for i := range apps {
+		units[i], _ = testUnit(t, apps[i], uint64(i+1), 1_500, measures[i])
+	}
+	return units
+}
+
+// TestBatchedMatchesSerial is the core equivalence guarantee: every lane
+// width and quantum — including quantum 1, the finest possible lane
+// interleaving — must reproduce the serial per-unit results exactly.
+func TestBatchedMatchesSerial(t *testing.T) {
+	units := staggeredUnits(t)
+	want := make([]Result, len(units))
+	for i, u := range units {
+		want[i] = serialResult(t, u)
+		if want[i].Err != nil {
+			t.Fatalf("serial unit %d failed: %v", i, want[i].Err)
+		}
+	}
+	for _, tc := range []struct {
+		lanes, quantum int
+	}{
+		{1, 0}, {2, 0}, {3, 0}, {8, 0}, {4, 1}, {4, 17}, {32, 0},
+	} {
+		got := Run(units, tc.lanes, tc.quantum)
+		for i := range want {
+			if got[i].Err != nil {
+				t.Fatalf("lanes=%d quantum=%d: unit %d errored: %v", tc.lanes, tc.quantum, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Res, want[i].Res) {
+				t.Errorf("lanes=%d quantum=%d: unit %d Result diverges from serial", tc.lanes, tc.quantum, i)
+			}
+		}
+	}
+}
+
+// TestLaneRetireRefill pins the retire/refill mechanics: with 2 lanes over
+// staggered units, every unit must be built exactly once, in queue order,
+// and the early-retiring lane must pick up queued work while its neighbour
+// is still running (more than `lanes` units complete, so refill happened).
+func TestLaneRetireRefill(t *testing.T) {
+	units := staggeredUnits(t)
+	var buildOrder []int
+	for i := range units {
+		i := i
+		inner := units[i].Build
+		units[i].Build = func() (*sim.System, error) {
+			buildOrder = append(buildOrder, i)
+			return inner()
+		}
+	}
+	got := Run(units, 2, 0)
+	for i, r := range got {
+		if r.Err != nil {
+			t.Fatalf("unit %d errored: %v", i, r.Err)
+		}
+		if r.Res.MeasuredCycles == 0 {
+			t.Errorf("unit %d has no measured window: refill lost it", i)
+		}
+	}
+	if len(buildOrder) != len(units) {
+		t.Fatalf("built %d systems for %d units", len(buildOrder), len(units))
+	}
+	for i, b := range buildOrder {
+		if b != i {
+			t.Fatalf("build order %v: refill must pull units in queue order", buildOrder)
+		}
+	}
+}
+
+// TestBatchedErrorsMatchSerial drives a unit into the safety cycle bound
+// and checks the batch reports the identical phase-wrapped error text as
+// sim.RunMeasured, and that a failing unit does not disturb its lane
+// neighbours.
+func TestBatchedErrorsMatchSerial(t *testing.T) {
+	good, _ := testUnit(t, "hmmer", 7, 1_000, 5_000)
+	cfg := sim.CharacterisationConfig()
+	cfg.MaxRunCycles = 64 // trips during warmup
+	prof := trace.MustProfile("mcf")
+	bad := Unit{
+		Build:   func() (*sim.System, error) { return sim.New(cfg, []trace.Profile{prof}) },
+		Warmup:  1_000,
+		Measure: 5_000,
+	}
+	units := []Unit{good, bad, good}
+	want := serialResult(t, bad)
+	if want.Err == nil {
+		t.Fatal("reference bad unit did not fail")
+	}
+	got := Run(units, 3, 0)
+	if got[1].Err == nil || got[1].Err.Error() != want.Err.Error() {
+		t.Errorf("batched error %q, want serial's %q", got[1].Err, want.Err)
+	}
+	for _, i := range []int{0, 2} {
+		if got[i].Err != nil {
+			t.Errorf("healthy neighbour unit %d failed: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Res, serialResult(t, units[i]).Res) {
+			t.Errorf("unit %d diverges from serial beside a failing lane", i)
+		}
+	}
+}
+
+// TestBuildFailureSkipsLane pins that a unit whose constructor fails is
+// recorded and the lane keeps filling from the queue.
+func TestBuildFailureSkipsLane(t *testing.T) {
+	good, _ := testUnit(t, "namd", 3, 500, 2_000)
+	broken := Unit{Build: func() (*sim.System, error) { return nil, errBuild }, Warmup: 1, Measure: 1}
+	got := Run([]Unit{broken, good, broken, good}, 2, 0)
+	if got[0].Err != errBuild || got[2].Err != errBuild {
+		t.Errorf("build failures not recorded: %v / %v", got[0].Err, got[2].Err)
+	}
+	for _, i := range []int{1, 3} {
+		if got[i].Err != nil {
+			t.Errorf("unit %d failed: %v", i, got[i].Err)
+		}
+	}
+}
+
+var errBuild = &buildErr{}
+
+type buildErr struct{}
+
+func (*buildErr) Error() string { return "synthetic build failure" }
+
+// TestZeroWindows covers the degenerate RunMeasured(0, 0) shape: the unit
+// completes immediately with a snapshot, exactly like the serial path.
+// A zero-window snapshot carries NaN ratios (no core arms), and NaN is
+// never DeepEqual to itself, so this test compares formatted values.
+func TestZeroWindows(t *testing.T) {
+	u, _ := testUnit(t, "mcf", 5, 0, 0)
+	want := serialResult(t, u)
+	got := Run([]Unit{u}, 4, 0)
+	if got[0].Err != nil {
+		t.Fatal(got[0].Err)
+	}
+	if g, w := fmt.Sprintf("%v", got[0].Res), fmt.Sprintf("%v", want.Res); g != w {
+		t.Errorf("zero-window unit diverges from serial:\n got %s\nwant %s", g, w)
+	}
+}
