@@ -31,6 +31,16 @@ type UnitResult struct {
 // same "<policy> on <workload>" wrapping — so batched execution is
 // indistinguishable from serial execution in everything but wall-clock.
 func RunUnitsLanes(units []Unit, lanes int) []UnitResult {
+	return RunUnitsLanesFunc(units, lanes, nil)
+}
+
+// RunUnitsLanesFunc is RunUnitsLanes with a completion hook: onDone, when
+// non-nil, fires as each unit retires — in retirement order, not unit
+// order — carrying the unit's index and the same UnitResult that lands at
+// out[i]. The shard worker streams burst answers through it so the
+// coordinator sees per-unit progress instead of one silence spanning the
+// whole group.
+func RunUnitsLanesFunc(units []Unit, lanes int, onDone func(i int, r UnitResult)) []UnitResult {
 	bus := make([]simbatch.Unit, len(units))
 	for i := range units {
 		o := units[i].Opts
@@ -41,13 +51,16 @@ func RunUnitsLanes(units []Unit, lanes int) []UnitResult {
 		}
 	}
 	out := make([]UnitResult, len(units))
-	for i, r := range simbatch.Run(bus, lanes, 0) {
+	simbatch.RunFunc(bus, lanes, 0, func(i int, r simbatch.Result) {
 		if r.Err != nil {
 			out[i].Err = fmt.Errorf("%s on %s: %w", units[i].Opts.Policy, units[i].Workload, r.Err)
-			continue
+		} else {
+			out[i].Report = Report{Result: r.Res, Workload: units[i].Workload, Apps: units[i].Opts.Apps}
 		}
-		out[i].Report = Report{Result: r.Res, Workload: units[i].Workload, Apps: units[i].Opts.Apps}
-	}
+		if onDone != nil {
+			onDone(i, out[i])
+		}
+	})
 	return out
 }
 

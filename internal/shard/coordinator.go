@@ -41,7 +41,11 @@ type Coordinator struct {
 	// worker.
 	Env []string
 	// Timeout bounds one unit's wall time on a worker; a unit that blows
-	// it is treated like a worker death (reap, restart, re-dispatch).
+	// it is treated like a worker death (reap, restart, re-dispatch). In a
+	// lane-batched burst, where pending units share one tick loop and so
+	// each progresses at a fraction of serial speed, the bound between
+	// consecutive answers is Timeout scaled by the pending-unit count —
+	// size Timeout for ONE serial unit either way.
 	// Zero means a generous default sized for full-scale suite units.
 	//lint:allow nondeterminism supervision timeout: wall-clock guards the harness, never the results
 	Timeout time.Duration
@@ -300,13 +304,25 @@ func gather(queue chan int, first, batch int) []int {
 }
 
 // runBurstOn ships one lane-batched group to a worker and collects its
-// per-unit answers, filing each delivered Report immediately. The per-unit
-// timeout applies between consecutive answers, mirroring the serial path's
-// per-unit bound. On a worker death or timeout it returns the units still
-// unanswered (in dispatch order) for re-dispatch; delivered units stay
-// delivered. A deterministic unit failure aborts, exactly like runOn.
+// per-unit answers, filing each delivered Report immediately. The worker
+// streams one answer per unit as its lane retires, so answers arrive in
+// retirement order (matched by seq, not position). Because the pending
+// units advance interleaved through one shared tick loop, a lane retires
+// only after roughly pending-many units' worth of wall time — so the
+// progress deadline between consecutive answers is the per-unit timeout
+// scaled by how many units are still pending, shrinking as answers land.
+// On a worker death or timeout it returns the units still unanswered (in
+// dispatch order) for re-dispatch; delivered units stay delivered. A
+// deterministic unit failure aborts, exactly like runOn.
 func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, reports []core.Report, timeout time.Duration, abort <-chan struct{}, complete func()) (outstanding []int, failIdx int, msg string, st unitStatus) {
+	// The whole burst is outstanding from the moment dispatch starts: a
+	// write that fails partway (the worker died mid-dispatch) must hand the
+	// unwritten tail back for re-dispatch too, or those units would never
+	// be answered, re-queued, or failed and the run would deadlock.
 	pending := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		pending[i] = true
+	}
 	left := func() []int {
 		var out []int
 		for _, i := range idxs {
@@ -317,7 +333,6 @@ func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, r
 		return out
 	}
 	for k, i := range idxs {
-		pending[i] = true
 		m := unitMsg{Seq: i, Unit: units[i]}
 		if k == 0 {
 			m.Burst = len(idxs)
@@ -331,7 +346,10 @@ func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, r
 			return left(), 0, fmt.Sprintf("dispatch write failed: %v", err), workerDead
 		}
 	}
-	t := time.NewTimer(timeout)
+	deadline := func() time.Duration {
+		return time.Duration(len(pending)) * timeout
+	}
+	t := time.NewTimer(deadline())
 	defer t.Stop()
 	rearm := func() {
 		if !t.Stop() {
@@ -340,7 +358,7 @@ func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, r
 			default:
 			}
 		}
-		t.Reset(timeout)
+		t.Reset(deadline())
 	}
 	for {
 		select {
@@ -372,7 +390,7 @@ func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, r
 			c.mu.Lock()
 			c.cstats.Timeouts++
 			c.mu.Unlock()
-			return left(), 0, fmt.Sprintf("burst made no progress within the %s per-unit timeout", timeout), workerDead
+			return left(), 0, fmt.Sprintf("burst made no progress within %s (%d pending units x %s per-unit timeout)", deadline(), len(pending), timeout), workerDead
 		case <-abort:
 			return nil, 0, "", runAborted
 		}

@@ -14,8 +14,9 @@
 // A lane-batched coordinator (Coordinator.Batch > 1) ships groups: the
 // first unit of a group carries "burst": B and B-1 more unit lines follow
 // immediately; the worker runs the group through the lane-batched executor
-// (core.RunUnitsLanes) and answers with the same per-unit result lines, so
-// bursts change scheduling only, never the bytes of any Report.
+// (core.RunUnitsLanesFunc) and streams the same per-unit result lines as
+// each lane retires — in retirement order, matched by seq — so bursts
+// change scheduling only, never the bytes of any Report.
 //
 // Worker -> coordinator (stdout), one JSON object per line:
 //

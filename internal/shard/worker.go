@@ -128,8 +128,11 @@ func (wk *worker) readUnit() (unitMsg, bool, error) {
 }
 
 // runGroup executes one dispatch group — a single unit via core.RunUnit, a
-// burst via the lane-batched executor — and answers one message per unit in
-// group order. Both paths produce identical Reports and identical error
+// burst via the lane-batched executor — and answers one message per unit.
+// Burst answers stream as each lane retires, so they arrive in retirement
+// order, not group order (the coordinator matches them by seq), and the
+// coordinator sees progress per unit instead of one silence spanning the
+// whole group. Both paths produce identical Reports and identical error
 // text; the coordinator cannot tell them apart except by throughput.
 func (wk *worker) runGroup(group []unitMsg) error {
 	if len(group) == 1 {
@@ -144,12 +147,15 @@ func (wk *worker) runGroup(group []unitMsg) error {
 	for i, um := range group {
 		units[i] = um.Unit
 	}
-	for i, r := range core.RunUnitsLanes(units, len(units)) {
-		if err := wk.answer(group[i], r); err != nil {
-			return err
+	// A failed answer write means the coordinator is gone; remember the
+	// first failure, let the executor drain, and report it after.
+	var werr error
+	core.RunUnitsLanesFunc(units, len(units), func(i int, r core.UnitResult) {
+		if werr == nil {
+			werr = wk.answer(group[i], r)
 		}
-	}
-	return nil
+	})
+	return werr
 }
 
 // answer writes one unit's result or error line and books its statistics.

@@ -56,6 +56,7 @@ const DefaultQuantum = 65536
 type batch struct {
 	units   []Unit
 	out     []Result
+	onDone  func(int, Result) // nil unless the caller streams completions
 	quantum int
 
 	sys       []*sim.System  // nil when the lane is parked (queue drained)
@@ -76,6 +77,18 @@ type batch struct {
 // [1, len(units)]; width 1 degenerates to serial execution through the
 // same code path, which is what the equivalence tests exploit.
 func Run(units []Unit, lanes, quantum int) []Result {
+	return RunFunc(units, lanes, quantum, nil)
+}
+
+// RunFunc is Run with a completion hook: onDone, when non-nil, fires
+// synchronously as each unit completes, carrying the unit's index and the
+// same Result that lands at out[i]. Units complete in retirement order —
+// lanes finish at staggered cycle counts, so that order is generally not
+// unit order. Results are identical to Run's either way; the hook exists so
+// a streaming caller (the shard worker answering its coordinator) can ship
+// each unit's outcome the moment it retires instead of after the whole
+// batch drains.
+func RunFunc(units []Unit, lanes, quantum int, onDone func(i int, r Result)) []Result {
 	out := make([]Result, len(units))
 	if len(units) == 0 {
 		return out
@@ -92,6 +105,7 @@ func Run(units []Unit, lanes, quantum int) []Result {
 	b := &batch{
 		units:     units,
 		out:       out,
+		onDone:    onDone,
 		quantum:   quantum,
 		sys:       make([]*sim.System, lanes),
 		rs:        make([]sim.RunState, lanes),
@@ -151,10 +165,20 @@ func (b *batch) transition(l int, err error) {
 // retire records the lane's unit outcome and refills the lane from the
 // queue.
 func (b *batch) retire(l int, r Result) {
-	b.out[b.unit[l]] = r
+	b.done(b.unit[l], r)
 	b.sys[l] = nil
 	b.active--
 	b.fill(l)
+}
+
+// done files one unit's outcome. Every completion path — retire, a failed
+// build, a degenerate both-windows-empty unit — funnels through here so the
+// streaming hook sees exactly one call per unit.
+func (b *batch) done(idx int, r Result) {
+	b.out[idx] = r
+	if b.onDone != nil {
+		b.onDone(idx, r)
+	}
 }
 
 // fill hands the next queued unit to lane l, building its System and
@@ -168,7 +192,7 @@ func (b *batch) fill(l int) {
 		u := b.units[idx]
 		s, err := u.Build()
 		if err != nil {
-			b.out[idx] = Result{Err: err}
+			b.done(idx, Result{Err: err})
 			continue
 		}
 		b.sys[l] = s
@@ -187,7 +211,7 @@ func (b *batch) fill(l int) {
 			return
 		}
 		// Both windows empty: degenerate unit, snapshot and keep pulling.
-		b.out[idx] = Result{Res: s.Snapshot(u.Measure)}
+		b.done(idx, Result{Res: s.Snapshot(u.Measure)})
 		b.sys[l] = nil
 		b.active--
 	}

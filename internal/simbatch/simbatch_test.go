@@ -3,6 +3,7 @@ package simbatch
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/sim"
@@ -146,6 +147,36 @@ func TestBatchedErrorsMatchSerial(t *testing.T) {
 		if !reflect.DeepEqual(got[i].Res, serialResult(t, units[i]).Res) {
 			t.Errorf("unit %d diverges from serial beside a failing lane", i)
 		}
+	}
+}
+
+// TestRunFuncStreams pins the streaming-hook contract: the hook fires
+// exactly once per unit — including one whose constructor fails — carrying
+// the same Result the output slice records, and it fires in retirement
+// order (the staggered measures make a later-queued unit retire first, so
+// that order differs from unit order).
+func TestRunFuncStreams(t *testing.T) {
+	units := staggeredUnits(t)
+	units = append(units, Unit{Build: func() (*sim.System, error) { return nil, errBuild }, Warmup: 1, Measure: 1})
+	seen := make(map[int]Result, len(units))
+	var order []int
+	got := RunFunc(units, 2, 0, func(i int, r Result) {
+		if _, dup := seen[i]; dup {
+			t.Errorf("hook fired twice for unit %d", i)
+		}
+		seen[i] = r
+		order = append(order, i)
+	})
+	if len(seen) != len(units) {
+		t.Fatalf("hook fired for %d of %d units", len(seen), len(units))
+	}
+	for i := range units {
+		if !reflect.DeepEqual(seen[i], got[i]) {
+			t.Errorf("unit %d: streamed Result differs from the returned one", i)
+		}
+	}
+	if sort.IntsAreSorted(order) {
+		t.Errorf("completion order %v equals unit order; staggered lanes must retire out of order", order)
 	}
 }
 
