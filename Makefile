@@ -14,7 +14,8 @@ vet:
 	$(GO) vet ./...
 
 # Domain static analysis: nondeterminism, maporder, statsmerge, seedflow,
-# poolslot, allocfree, hotdiv, statreg, invariantcall. See README
+# poolslot, allocfree, hotdiv, statreg, invariantcall, plus the concurrency
+# contracts goroleak, mutexhold, timerleak, selectabort, laneiso. See README
 # "Determinism invariants" and "Correctness tooling".
 lint:
 	$(GO) run ./cmd/renuca-lint ./...
@@ -23,9 +24,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages plus the top-level harness.
+# internal/shard includes the coordinator crash/hang stress test, so the
+# whole supervision stack runs under the detector.
 # (`$(GO) test -race ./...` also works; this subset keeps the gate fast.)
 race:
-	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/simbatch/ ./internal/experiments/ .
+	$(GO) test -race ./internal/pool/ ./internal/core/ ./internal/shard/ ./internal/simbatch/ ./internal/experiments/ .
 
 # Full test suite with the runtime architectural-invariant sanitizer armed
 # (MESI legality, cache occupancy conservation, NoC latency envelopes, DRAM

@@ -1,9 +1,9 @@
-// Command renuca-lint runs the project's nine domain analyzers (package
+// Command renuca-lint runs the project's fourteen domain analyzers (package
 // internal/lint) — determinism, stats-invariant, hot-path allocation/divide,
-// and sanitizer-coverage checks — over the module and reports violations
-// as file:line:col diagnostics. It exits 0 on a clean tree, 1 when any
-// diagnostic is reported, and 2 on usage or load errors, so `make check`
-// can gate on it.
+// sanitizer-coverage, and concurrency-safety checks — over the module and
+// reports violations as file:line:col diagnostics. It exits 0 on a clean
+// tree, 1 when any diagnostic is reported, and 2 on usage or load errors,
+// so `make check` can gate on it.
 //
 // Usage:
 //
@@ -12,6 +12,7 @@
 //	renuca-lint -disable maporder ./...     # all but one analyzer
 //	renuca-lint -enable seedflow ./...      # exactly one analyzer
 //	renuca-lint -json ./...                 # machine-readable diagnostics
+//	renuca-lint -github ./...               # GitHub Actions ::error annotations
 //	renuca-lint -list                       # analyzer names and docs
 //
 // The whole module is always loaded and type-checked (whole-program checks
@@ -35,10 +36,16 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	githubOut := flag.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
+
+	if *jsonOut && *githubOut {
+		fmt.Fprintln(os.Stderr, "renuca-lint: -json and -github are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range lint.NewAnalyzers() {
@@ -79,7 +86,8 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
@@ -89,7 +97,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "renuca-lint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *githubOut:
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(d))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
@@ -100,6 +112,30 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders one diagnostic as a GitHub Actions workflow
+// command, which the runner turns into an inline PR annotation:
+//
+//	::error file=internal/x.go,line=3,col=7,title=renuca-lint (maporder)::message
+//
+// Properties and message use the runner's escaping rules: % CR LF always,
+// plus : and , inside property values.
+func githubAnnotation(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		escapeProperty(d.File), d.Line, d.Col,
+		escapeProperty("renuca-lint ("+d.Analyzer+")"),
+		escapeData(d.Message))
+}
+
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func escapeProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 // selectAnalyzers applies -enable/-disable to the full analyzer set.

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestGithubAnnotation pins the workflow-command format and its escaping:
+// the runner parses these lines byte-by-byte, so %, CR, LF must be escaped
+// everywhere and : , additionally inside property values.
+func TestGithubAnnotation(t *testing.T) {
+	d := lint.Diagnostic{
+		Analyzer: "maporder",
+		File:     "internal/x.go",
+		Line:     3,
+		Col:      7,
+		Message:  "keys collected but never sorted",
+	}
+	want := "::error file=internal/x.go,line=3,col=7,title=renuca-lint (maporder)::keys collected but never sorted"
+	if got := githubAnnotation(d); got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+
+	d.File = "weird,file:name.go"
+	d.Message = "50% done\nsecond line"
+	want = "::error file=weird%2Cfile%3Aname.go,line=3,col=7,title=renuca-lint (maporder)::50%25 done%0Asecond line"
+	if got := githubAnnotation(d); got != want {
+		t.Errorf("escaped githubAnnotation = %q, want %q", got, want)
+	}
+}

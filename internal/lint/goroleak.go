@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newGoroLeak enforces the join discipline: every goroutine launch must
+// carry visible evidence that something waits for it to finish. A
+// supervision goroutine with no join can outlive its coordinator — the
+// coordinator returns, the goroutine keeps a dead worker's pipe or a
+// shared counter alive, and the next run races against the last one.
+//
+// Accepted join evidence inside the goroutine's body:
+//
+//   - a sync.WaitGroup Done call (conventionally deferred), which must be
+//     paired with an Add call visible in the launching function;
+//   - close of a channel (the owned done-channel pattern: the launcher,
+//     or whoever reaps the goroutine, receives until the close);
+//   - a channel send (the result-channel pattern: the goroutine's last
+//     act delivers its result to a waiting receiver).
+//
+// A `go` statement whose target is a function literal or a same-package
+// function/method is analyzed through its body; a target the analyzer
+// cannot see into (another package's function, a function value) is
+// reported, because neither can a reader confirm the join. _test.go files
+// are exempt: tests launch raw goroutines against the harness on purpose.
+func newGoroLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "every goroutine needs a visible join: WaitGroup Add/Done pairing, close of an owned done-channel, or a result send",
+	}
+	a.Run = func(p *Pass) {
+		// Same-package function bodies, for `go w.readLoop(out)`-style
+		// launches of named functions and methods.
+		decls := make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range p.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[fn] = fd
+					}
+				}
+			}
+		}
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					p.checkGoStmt(gs, fd, decls)
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// checkGoStmt validates one `go` statement's join evidence. enclosing is
+// the function declaration containing the statement (searched for the
+// WaitGroup Add pairing).
+func (p *Pass) checkGoStmt(gs *ast.GoStmt, enclosing *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calleeFunc(p.Pkg.Info, gs.Call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		p.Reportf(gs.Pos(), "goroutine target is not analyzable (external function or function value); launch a literal or same-package function whose join — WaitGroup Done, done-channel close, or result send — is visible")
+		return
+	}
+	var sawDone, sawClose, sawSend bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sawSend = true
+		case *ast.CallExpr:
+			if builtinCallee(p.Pkg.Info, n) == "close" {
+				sawClose = true
+			} else if fn := calleeFunc(p.Pkg.Info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				sawDone = true
+			}
+		}
+		return true
+	})
+	switch {
+	case sawDone:
+		// The Done must pair with an Add the launcher performs; a Done
+		// without a visible Add panics the WaitGroup or, worse, balances
+		// an Add belonging to someone else's join.
+		sawAdd := false
+		ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p.Pkg.Info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Add" {
+				sawAdd = true
+			}
+			return true
+		})
+		if !sawAdd {
+			p.Reportf(gs.Pos(), "goroutine calls WaitGroup Done but no Add is visible in %s; Add/Done pairing must be local to the launch", enclosing.Name.Name)
+		}
+	case sawClose, sawSend:
+		// Owned done-channel or result send: joined.
+	default:
+		p.Reportf(gs.Pos(), "goroutine has no visible join (no WaitGroup Done, no done-channel close, no result send); an unjoined goroutine can outlive its coordinator")
+	}
+}

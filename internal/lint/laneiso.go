@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lane-isolation markers. The lane-batched executor (internal/simbatch)
+// keeps B independent simulations byte-identical to serial runs only
+// because lanes provably never alias: the shared struct-of-arrays backing
+// is windowed per lane through one stride helper, and every per-lane
+// slice is indexed by exactly one lane variable per function. Those
+// contracts are declared in source:
+//
+//	//lint:soa        on a field: shared SoA backing array; every index,
+//	                  slice, or other use must sit inside a soawindow func
+//	//lint:soalane    on a field: per-lane parallel slice; indexed only by
+//	                  a single plain lane identifier per function, never
+//	                  sub-sliced
+//	//lint:soawindow  on a function: the designated [lane*stride+core]
+//	                  stride helper, the only place soa backings may be
+//	                  touched
+//
+// like //lint:hotpath, a marker binds to the declaration on its line or
+// the line directly below the comment.
+const (
+	soaMarker       = "lint:soa"
+	soaLaneMarker   = "lint:soalane"
+	soaWindowMarker = "lint:soawindow"
+)
+
+// newLaneIso turns the PR-6 lane-isolation contract from a test-only
+// property into a whole-program check. In any package that declares SoA
+// markers (internal/simbatch today; the planned SoA-below-the-scheduler
+// kernels tomorrow) it reports:
+//
+//   - any use of a //lint:soa backing field outside a //lint:soawindow
+//     function — windows must be derived through the stride helper, never
+//     by ad-hoc arithmetic;
+//   - a //lint:soalane per-lane slice indexed by anything but a plain
+//     identifier, indexed by two different identifiers within one
+//     function (cross-lane aliasing), or sub-sliced (which would let a
+//     window escape its lane);
+//   - package-level `var` declarations — mutable package state is
+//     reachable from every lane, so a lane package may hold only
+//     constants.
+//
+// _test.go files are exempt; the equivalence tests deliberately reach
+// across lanes to compare them.
+func newLaneIso() *Analyzer {
+	a := &Analyzer{
+		Name: "laneiso",
+		Doc:  "lane-batched SoA state: backings only via the marked stride helper, per-lane slices single-lane-indexed, no package-level mutable state",
+	}
+	a.Run = func(p *Pass) {
+		soa, lane := p.soaMarkedFields()
+		if len(soa) == 0 && len(lane) == 0 {
+			return
+		}
+		windows := p.soaWindowFuncs()
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.GenDecl:
+					if d.Tok == token.VAR {
+						p.Reportf(d.Pos(), "package-level var in a lane-isolated package is mutable state reachable from every lane; make it a constant, or thread it through the batch state")
+					}
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					p.checkLaneFunc(d, soa, lane, windows[d])
+				}
+			}
+		}
+	}
+	return a
+}
+
+// markerLines collects the (file, line) positions of one marker across the
+// package, keyed the way hotpath does it: a declaration is marked if the
+// directive sits on its own line or the line above.
+func (p *Pass) markerLines(marker string) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if text == marker || strings.HasPrefix(text, marker+" ") {
+					pos := p.Fset.Position(c.Pos())
+					out[allowKey{pos.Filename, pos.Line}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markedAt reports whether a marked line covers pos (same line, or the
+// directive on the line above).
+func markedAt(marks map[allowKey]bool, pos token.Position) bool {
+	return marks[allowKey{pos.Filename, pos.Line}] || marks[allowKey{pos.Filename, pos.Line - 1}]
+}
+
+// soaMarkedFields resolves the //lint:soa and //lint:soalane struct fields
+// of the package to their types.Var objects.
+func (p *Pass) soaMarkedFields() (soa, lane map[types.Object]bool) {
+	soaMarks := p.markerLines(soaMarker)
+	laneMarks := p.markerLines(soaLaneMarker)
+	soa = make(map[types.Object]bool)
+	lane = make(map[types.Object]bool)
+	if len(soaMarks) == 0 && len(laneMarks) == 0 {
+		return soa, lane
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					pos := p.Fset.Position(name.Pos())
+					obj := p.Pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if markedAt(soaMarks, pos) {
+						soa[obj] = true
+					}
+					if markedAt(laneMarks, pos) {
+						lane[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return soa, lane
+}
+
+// soaWindowFuncs returns the set of function declarations carrying the
+// //lint:soawindow marker.
+func (p *Pass) soaWindowFuncs() map[*ast.FuncDecl]bool {
+	marks := p.markerLines(soaWindowMarker)
+	out := make(map[*ast.FuncDecl]bool)
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			marked := markedAt(marks, p.Fset.Position(fd.Pos()))
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if text == soaWindowMarker || strings.HasPrefix(text, soaWindowMarker+" ") {
+						marked = true
+					}
+				}
+			}
+			if marked {
+				out[fd] = true
+			}
+		}
+	}
+	return out
+}
+
+// fieldObjOf resolves the field object an expression selects (b.wake ->
+// wake's types.Var), or nil.
+func fieldObjOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		return info.Uses[x]
+	}
+	return nil
+}
+
+// checkLaneFunc enforces the SoA access rules inside one function.
+func (p *Pass) checkLaneFunc(fd *ast.FuncDecl, soa, lane map[types.Object]bool, isWindow bool) {
+	// The lane identifier this function has committed to, once one marked
+	// index is seen.
+	var laneIdx types.Object
+	var laneIdxName string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			obj := fieldObjOf(p.Pkg.Info, n.X)
+			switch {
+			case obj == nil:
+			case lane[obj]:
+				id, ok := ast.Unparen(n.Index).(*ast.Ident)
+				if !ok {
+					p.Reportf(n.Pos(), "per-lane slice %s indexed by a non-identifier expression; lanes may only be addressed by the function's single lane variable", obj.Name())
+					return true
+				}
+				idxObj := p.Pkg.Info.Uses[id]
+				if idxObj == nil {
+					idxObj = p.Pkg.Info.Defs[id]
+				}
+				if laneIdx == nil {
+					laneIdx, laneIdxName = idxObj, id.Name
+				} else if idxObj != laneIdx {
+					p.Reportf(n.Pos(), "per-lane slice %s indexed by %q where this function already addresses lanes by %q; one function may touch only one lane", obj.Name(), id.Name, laneIdxName)
+				}
+			}
+		case *ast.SliceExpr:
+			obj := fieldObjOf(p.Pkg.Info, n.X)
+			if obj != nil && lane[obj] {
+				p.Reportf(n.Pos(), "per-lane slice %s sub-sliced; a sub-slice aliases multiple lanes' slots", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			// Every use of a soa backing outside the window helper —
+			// index, slice, copy target, function argument, whole-array
+			// assignment — funnels through its selector.
+			obj := p.Pkg.Info.Uses[n.Sel]
+			if obj != nil && soa[obj] && !isWindow {
+				p.Reportf(n.Pos(), "SoA backing %s used outside its //lint:soawindow stride helper; derive lane windows only through it", obj.Name())
+			}
+		}
+		return true
+	})
+}

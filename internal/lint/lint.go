@@ -1,6 +1,6 @@
 // Package lint implements renuca-lint, the project's domain-specific static
-// analysis. Nine analyzers built on go/ast and go/types only enforce the
-// simulator's two contracts. The scientific contract — identical results
+// analysis. Fourteen analyzers built on go/ast and go/types only enforce the
+// simulator's three contracts. The scientific contract — identical results
 // for identical (seed, config) regardless of wall-clock, worker count, or
 // map iteration order:
 //
@@ -28,6 +28,23 @@
 //   - invariantcall: exported state-mutating methods in the invariant-
 //     bearing packages (coherence, cache, noc, dram, rram) that do not call
 //     their package's sanCheck* simcheck hook.
+//
+// And the concurrency-safety contract — the pool/shard/simbatch supervision
+// stack cannot deadlock, leak goroutines or timers, or let lanes alias:
+//
+//   - goroleak: every goroutine launch carries a visible join (WaitGroup
+//     Add/Done pairing, owned done-channel close, or result send);
+//   - mutexhold: no mutex held across blocking operations (channel ops,
+//     Wait, Sleep, select without default, pipe/process I/O);
+//   - timerleak: time.After in loops, time.Tick anywhere, and
+//     NewTimer/NewTicker/AfterFunc without a visible Stop;
+//   - selectabort: internal/shard supervision waits must be escapable —
+//     selects carry an abort/done/timer case or a default, bare receives
+//     only from join channels;
+//   - laneiso: //lint:soa SoA backings touched only inside their
+//     //lint:soawindow stride helper, //lint:soalane per-lane slices
+//     single-lane-indexed and never sub-sliced, no package-level vars in
+//     lane-isolated packages.
 //
 // Intentional exceptions are annotated in place:
 //
@@ -101,7 +118,7 @@ type Analyzer struct {
 	Finish func(report func(Diagnostic))
 }
 
-// NewAnalyzers returns fresh instances of all nine analyzers.
+// NewAnalyzers returns fresh instances of all fourteen analyzers.
 func NewAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		newNondeterminism(),
@@ -113,6 +130,11 @@ func NewAnalyzers() []*Analyzer {
 		newHotDiv(),
 		newStatReg(),
 		newInvariantCall(),
+		newGoroLeak(),
+		newMutexHold(),
+		newTimerLeak(),
+		newSelectAbort(),
+		newLaneIso(),
 	}
 }
 

@@ -154,6 +154,11 @@ func TestAllocFreeFixture(t *testing.T)      { runFixture(t, "allocfree") }
 func TestHotDivFixture(t *testing.T)         { runFixture(t, "hotdiv") }
 func TestStatRegFixture(t *testing.T)        { runFixture(t, "statreg") }
 func TestInvariantCallFixture(t *testing.T)  { runFixture(t, "invariantcall") }
+func TestGoroLeakFixture(t *testing.T)       { runFixture(t, "goroleak") }
+func TestMutexHoldFixture(t *testing.T)      { runFixture(t, "mutexhold") }
+func TestTimerLeakFixture(t *testing.T)      { runFixture(t, "timerleak") }
+func TestSelectAbortFixture(t *testing.T)    { runFixture(t, "selectabort") }
+func TestLaneIsoFixture(t *testing.T)        { runFixture(t, "laneiso") }
 
 // TestLoaderSkipsTaggedOutFiles pins the loader's build-constraint
 // filtering: the buildtag fixture's two files declare the same names under
@@ -232,7 +237,8 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerRoster pins the analyzer set the documentation promises.
 func TestAnalyzerRoster(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "nondeterminism,maporder,statsmerge,seedflow,poolslot,allocfree,hotdiv,statreg,invariantcall"
+	want := "nondeterminism,maporder,statsmerge,seedflow,poolslot,allocfree,hotdiv,statreg,invariantcall," +
+		"goroleak,mutexhold,timerleak,selectabort,laneiso"
 	if got != want {
 		t.Errorf("analyzer roster %q, want %q", got, want)
 	}

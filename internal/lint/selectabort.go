@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// newSelectAbort enforces the shard coordinator's supervision contract: a
+// dead or wedged worker must never be able to wedge RunUnits. Inside
+// internal/shard, every potentially-unbounded channel wait needs an escape
+// route:
+//
+//   - a select with a receive case must also select on an abort/done
+//     channel, a timer channel, or carry a default clause — otherwise a
+//     worker that stops answering parks the supervision loop forever;
+//   - a bare (non-select) receive is reported unless the channel is itself
+//     a join/abort channel (name containing done/abort/stop/quit/cancel,
+//     or a ctx.Done() call) — those close when the awaited party exits, so
+//     the wait is bounded by construction;
+//   - a range over a channel is reported: it blocks until the sender
+//     closes, which a supervision loop may not assume without justifying
+//     why (//lint:allow selectabort <reason> — e.g. draining a killed
+//     worker's reader, where the kill guarantees EOF).
+//
+// The analyzer is path-scoped to */internal/shard and skips _test.go
+// files; other packages' channel discipline is covered by goroleak and
+// mutexhold.
+func newSelectAbort() *Analyzer {
+	a := &Analyzer{
+		Name: "selectabort",
+		Doc:  "internal/shard supervision waits must be escapable: selects carry an abort/done/timer case or default; bare receives only from join channels",
+	}
+	a.Run = func(p *Pass) {
+		path := strings.TrimSuffix(p.Pkg.Path, ".test")
+		if !strings.HasSuffix(path, "/internal/shard") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectStmt:
+					p.checkSelect(n)
+					// Case bodies still walked for nested constructs, but
+					// the case receive expressions themselves are spoken
+					// for; mark them.
+					return true
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !p.insideSelectComm(f, n) && !abortishChan(p.Pkg.Info, n.X) {
+						p.Reportf(n.Pos(), "bare receive outside select: a silent peer blocks this wait forever; select on it together with the abort/done channel (or receive from a join channel whose close is guaranteed)")
+					}
+				case *ast.RangeStmt:
+					if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							p.Reportf(n.Pos(), "range over a channel waits for the sender to close it; a supervision loop may not assume that without justification (//lint:allow selectabort <why the close is guaranteed>)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// insideSelectComm reports whether the receive expression is the
+// communication operand of a select case (those are legal by
+// construction; checkSelect judges the select as a whole).
+func (p *Pass) insideSelectComm(f *ast.File, recv *ast.UnaryExpr) bool {
+	inside := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			return true
+		}
+		ast.Inspect(cc.Comm, func(m ast.Node) bool {
+			if m == recv {
+				inside = true
+			}
+			return !inside
+		})
+		return !inside
+	})
+	return inside
+}
+
+// abortishChan reports whether a channel expression is, by name or shape,
+// a join/abort channel whose close is the signal being awaited: an
+// identifier or field whose name contains done/abort/stop/quit/cancel, or
+// a ctx.Done()-style method call.
+func abortishChan(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return abortishName(x.Name)
+	case *ast.SelectorExpr:
+		return abortishName(x.Sel.Name)
+	case *ast.CallExpr:
+		if fn := calleeFunc(info, x); fn != nil {
+			return abortishName(fn.Name())
+		}
+	case *ast.IndexExpr:
+		return abortishChan(info, x.X)
+	}
+	return false
+}
+
+func abortishName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range [...]string{"done", "abort", "stop", "quit", "cancel"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// timerChan reports whether a channel expression is a timer/ticker C field
+// or a direct time.After/time.Tick call — a wait bounded by wall clock.
+func timerChan(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "C" {
+			return false
+		}
+		tv, ok := info.Types[x.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+				(obj.Name() == "Timer" || obj.Name() == "Ticker")
+		}
+	case *ast.CallExpr:
+		if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			return fn.Name() == "After" || fn.Name() == "Tick"
+		}
+	}
+	return false
+}
+
+// checkSelect validates one select statement: if any case performs a
+// channel receive on an ordinary data channel, some case must provide an
+// escape — default, abort/done channel, or timer channel.
+func (p *Pass) checkSelect(s *ast.SelectStmt) {
+	hasDataRecv, hasEscape := false, false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasEscape = true // default clause
+			continue
+		}
+		recv := commReceiveChan(cc.Comm)
+		if recv == nil {
+			continue
+		}
+		if abortishChan(p.Pkg.Info, recv) || timerChan(p.Pkg.Info, recv) {
+			hasEscape = true
+		} else {
+			hasDataRecv = true
+		}
+	}
+	if hasDataRecv && !hasEscape {
+		p.Reportf(s.Pos(), "select receives from a data channel with no escape case; add a case on the abort/done channel, a timer, or a default so a dead peer cannot wedge the supervision loop")
+	}
+}
+
+// commReceiveChan extracts the channel expression of a receive-shaped
+// select communication (expr stmt `<-ch`, or assignment `v := <-ch`), or
+// nil for sends.
+func commReceiveChan(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package fixture is the goroleak analyzer's positive corpus: every
+// goroutine here carries a visible join.
+package fixture
+
+import "sync"
+
+// waitGroupJoin is the canonical Add/Done/Wait triple.
+func waitGroupJoin(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// doneChannelJoin owns a done channel the launcher receives on.
+func doneChannelJoin(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}
+
+// resultSendJoin delivers its result to a waiting receiver.
+func resultSendJoin(fn func() int) int {
+	out := make(chan int, 1)
+	go func() {
+		out <- fn()
+	}()
+	return <-out
+}
+
+// namedReader is a same-package function whose body closes its channel;
+// launching it by name is as joined as launching a literal.
+func launchNamed(msgs chan string) {
+	go readLoop(msgs)
+	for range msgs {
+	}
+}
+
+func readLoop(msgs chan string) {
+	defer close(msgs)
+	msgs <- "one line"
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"os/exec"
+	"sync"
+)
+
+// fireAndForget has no join at all: nothing ever learns the goroutine
+// finished, so it can outlive its coordinator.
+func fireAndForget(fn func()) {
+	go func() { // want `no visible join`
+		fn()
+	}()
+}
+
+// doneWithoutAdd calls Done on a WaitGroup the launcher never Adds to.
+func doneWithoutAdd(wg *sync.WaitGroup, fn func()) {
+	go func() { // want `Done but no Add`
+		defer wg.Done()
+		fn()
+	}()
+}
+
+// opaqueTarget launches another package's function: the analyzer (and a
+// reader) cannot see a join in its body.
+func opaqueTarget(cmd *exec.Cmd) {
+	go cmd.Wait() // want `not analyzable`
+}
+
+// funcValueTarget launches through a function value, equally opaque.
+func funcValueTarget(fn func()) {
+	go fn() // want `not analyzable`
+}

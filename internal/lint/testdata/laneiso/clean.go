@@ -1,0 +1,29 @@
+// Package fixture is the laneiso analyzer's positive corpus: a miniature
+// of the simbatch lane-batched SoA layout.
+package fixture
+
+const laneCount = 4
+
+type batch struct {
+	//lint:soa
+	wake []uint64
+	//lint:soalane
+	sys    []int
+	stride int
+}
+
+// window is the one place the shared backing may be touched.
+//
+//lint:soawindow
+func (b *batch) window(l int) []uint64 {
+	return b.wake[l*b.stride : (l+1)*b.stride]
+}
+
+// tick addresses exactly one lane through exactly one identifier.
+func (b *batch) tick(l int) {
+	w := b.window(l)
+	if len(w) > 0 {
+		w[0]++
+	}
+	b.sys[l] = b.sys[l] + 1
+}

@@ -1,0 +1,36 @@
+package fixture
+
+var sharedScratch []int // want `package-level var`
+
+type fbatch struct {
+	//lint:soa
+	rf []uint64
+	//lint:soalane
+	rs     []int
+	stride int
+}
+
+//lint:soawindow
+func (b *fbatch) window(l int) []uint64 {
+	return b.rf[l*b.stride : (l+1)*b.stride]
+}
+
+// sideDoor reaches the backing without going through the window helper.
+func sideDoor(b *fbatch, l int) uint64 {
+	return b.rf[l*b.stride] // want `used outside its`
+}
+
+// computedLane indexes a per-lane slice by arithmetic, not a lane ident.
+func computedLane(b *fbatch, l int) int {
+	return b.rs[l+1] // want `non-identifier`
+}
+
+// twoLanes touches two different lanes in one function.
+func twoLanes(b *fbatch, l, m int) int {
+	return b.rs[l] + b.rs[m] // want `only one lane`
+}
+
+// subSlice lets a window escape its lane.
+func subSlice(b *fbatch) []int {
+	return b.rs[0:2] // want `sub-sliced`
+}

@@ -1,0 +1,54 @@
+// Package fixture is the mutexhold analyzer's positive corpus: critical
+// sections here stay short and non-blocking.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// quickSection locks only around the counter update and blocks after the
+// unlock.
+func quickSection(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	ch <- c.n
+}
+
+// unlockBeforeReturn is the singleflight shape: the fast branch unlocks,
+// then waits outside the lock.
+func unlockBeforeReturn(c *counter, done chan struct{}, ready bool) {
+	c.mu.Lock()
+	if ready {
+		c.mu.Unlock()
+		<-done
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// goroutineOwnStack launches a literal that sends; the literal runs later
+// on its own stack, so its send is not under the launcher's lock.
+func goroutineOwnStack(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+	c.n++
+}
+
+// selectWithDefault never blocks even inside the section.
+func selectWithDefault(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n += v
+	default:
+	}
+}

@@ -1,0 +1,68 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type gate struct {
+	mu sync.Mutex
+	n  int
+}
+
+// sendWhileHeld wedges every other user of mu behind a possibly-full
+// channel.
+func sendWhileHeld(g *gate, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want `channel send while holding mutex mu`
+	g.mu.Unlock()
+}
+
+// receiveWhileHeld: the sender may need mu to ever send.
+func receiveWhileHeld(g *gate, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = <-ch // want `channel receive while holding mutex mu`
+}
+
+// waitWhileHeld: the waited-for goroutines may need mu to finish.
+func waitWhileHeld(g *gate, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want `Wait\(\) while holding mutex mu`
+	g.mu.Unlock()
+}
+
+// sleepWhileHeld stalls the whole lock for the sleep duration.
+func sleepWhileHeld(g *gate) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding mutex mu`
+	g.mu.Unlock()
+}
+
+// rangeWhileHeld blocks until the sender closes the channel.
+func rangeWhileHeld(g *gate, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range ch { // want `range over a channel while holding mutex mu`
+		g.n += v
+	}
+}
+
+// selectWhileHeld has no default, so it parks with the lock held.
+func selectWhileHeld(g *gate, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select without a default case blocks while holding mutex mu`
+	case v := <-ch:
+		g.n = v
+	}
+}
+
+// writeWhileHeld: the writer may be a pipe whose reader is stalled.
+func writeWhileHeld(g *gate, w io.Writer) {
+	g.mu.Lock()
+	fmt.Fprintf(w, "n=%d\n", g.n) // want `fmt.Fprintf while holding mutex mu`
+	g.mu.Unlock()
+}

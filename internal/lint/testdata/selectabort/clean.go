@@ -1,0 +1,57 @@
+// Package fixture is the selectabort analyzer's positive corpus; the
+// //lint:as directive places it at the import path the analyzer guards.
+//
+//lint:as repro/internal/shard
+package fixture
+
+import "time"
+
+type worker struct {
+	msgs chan string
+	done chan struct{}
+}
+
+// supervise selects the data channel together with the worker's done
+// channel: a dead worker closes done and the loop escapes.
+func supervise(w *worker) int {
+	n := 0
+	for {
+		select {
+		case m := <-w.msgs:
+			if m == "" {
+				return n
+			}
+			n++
+		case <-w.done:
+			return n
+		}
+	}
+}
+
+// deadlineWait escapes through a timer case.
+func deadlineWait(w *worker, d time.Duration) (string, bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-w.msgs:
+		return m, true
+	case <-t.C:
+		return "", false
+	}
+}
+
+// pollOnce never blocks at all.
+func pollOnce(w *worker) (string, bool) {
+	select {
+	case m := <-w.msgs:
+		return m, true
+	default:
+		return "", false
+	}
+}
+
+// joinOnDone receives bare from a join channel whose close is itself the
+// awaited signal, so the wait is bounded by construction.
+func joinOnDone(w *worker) {
+	<-w.done
+}

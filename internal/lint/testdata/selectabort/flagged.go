@@ -1,0 +1,32 @@
+package fixture
+
+type peer struct {
+	msgs chan string
+	acks chan int
+}
+
+// gatherForever parks on the data channel with no escape: a silent peer
+// wedges the caller for good.
+func gatherForever(p *peer) string {
+	return <-p.msgs // want `bare receive outside select`
+}
+
+// drainAll assumes the sender will close the channel.
+func drainAll(p *peer) int {
+	n := 0
+	for range p.msgs { // want `range over a channel`
+		n++
+	}
+	return n
+}
+
+// twoDataChannels selects, but every case is a data channel; neither
+// peer dying lets the select return.
+func twoDataChannels(p *peer) int {
+	select { // want `no escape case`
+	case <-p.msgs:
+		return 1
+	case v := <-p.acks:
+		return v
+	}
+}

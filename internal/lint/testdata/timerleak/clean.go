@@ -1,0 +1,46 @@
+// Package fixture is the timerleak analyzer's positive corpus: every
+// timer here is stopped, and time.After stays out of loops.
+package fixture
+
+import "time"
+
+// rearmedTimer is the coordinator idiom: one timer, stopped on exit,
+// Reset per message instead of a fresh time.After per iteration.
+func rearmedTimer(msgs chan int, d time.Duration) int {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	total := 0
+	for {
+		select {
+		case v, ok := <-msgs:
+			if !ok {
+				return total
+			}
+			total += v
+			t.Reset(d)
+		case <-t.C:
+			return total
+		}
+	}
+}
+
+// singleShotAfter outside any loop allocates exactly one timer.
+func singleShotAfter(d time.Duration) {
+	<-time.After(d)
+}
+
+// stoppedTicker pairs the constructor with a deferred Stop.
+func stoppedTicker(d time.Duration, fn func()) {
+	tk := time.NewTicker(d)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		<-tk.C
+		fn()
+	}
+}
+
+// stoppedAfterFunc cancels the callback on the early-out path.
+func stoppedAfterFunc(d time.Duration, fn func()) {
+	t := time.AfterFunc(d, fn)
+	t.Stop()
+}

@@ -1,0 +1,42 @@
+package fixture
+
+import "time"
+
+// afterInLoop allocates an unstoppable timer per message received.
+func afterInLoop(msgs chan int, d time.Duration) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-msgs:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-time.After(d): // want `time.After in a loop`
+			return total
+		}
+	}
+}
+
+// tickLeak: time.Tick has no Stop at all.
+func tickLeak(d time.Duration, fn func()) {
+	for range time.Tick(d) { // want `time.Tick leaks its ticker by design`
+		fn()
+	}
+}
+
+// neverStopped binds the timer, but no path stops it.
+func neverStopped(msgs chan int, d time.Duration) int {
+	t := time.NewTimer(d) // want `result t is never stopped in neverStopped`
+	select {
+	case v := <-msgs:
+		return v
+	case <-t.C:
+		return 0
+	}
+}
+
+// inlineTimer is not even bound: nothing could ever stop it.
+func inlineTimer(d time.Duration) {
+	<-time.NewTimer(d).C // want `can never be stopped`
+}

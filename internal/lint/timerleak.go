@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newTimerLeak guards the supervision layer's timeout plumbing against the
+// two classic time-API leaks:
+//
+//   - time.After inside a loop: every iteration allocates a fresh timer
+//     that cannot be stopped and lives until it fires — a reaper loop
+//     rearming its deadline via time.After accretes one garbage timer per
+//     message, for the full timeout duration each. Use time.NewTimer with
+//     Stop/Reset (the coordinator's rearm pattern).
+//   - time.NewTimer/NewTicker/AfterFunc whose result never receives a
+//     Stop call in the constructing function: the timer outlives the
+//     timeout path it guards. `defer t.Stop()` right after construction
+//     is the idiom.
+//
+// time.Tick is reported unconditionally — it has no Stop at all, which is
+// why the standard library documents it as leak-by-design.
+//
+// _test.go files are exempt: a test's timers die with its process.
+func newTimerLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "timerleak",
+		Doc:  "flags time.After in loops, time.Tick anywhere, and NewTimer/NewTicker/AfterFunc without a visible Stop",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(p.Fset, f.Pos()) {
+				continue
+			}
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					p.checkTimers(fd)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// timeCall returns the name of the package-level time function a call
+// invokes, or "".
+func timeCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// checkTimers scans one function declaration: loop-nested time.After, bare
+// time.Tick, and stop-less timer constructions.
+func (p *Pass) checkTimers(fd *ast.FuncDecl) {
+	// Pass 1: every object that receives a .Stop() call anywhere in the
+	// function (including inside closures — the coordinator's rearm helper
+	// stops its timer from a literal).
+	stopped := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				stopped[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: walk with loop depth, classifying each time call site.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, loopDepth)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, loopDepth)
+				}
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, loopDepth)
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.AssignStmt:
+				// t := time.NewTimer(d): the construction the Stop pass
+				// vouches for (or not).
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						switch timeCall(p.Pkg.Info, call) {
+						case "NewTimer", "NewTicker", "AfterFunc":
+							if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+								obj := p.Pkg.Info.Defs[id]
+								if obj == nil {
+									obj = p.Pkg.Info.Uses[id]
+								}
+								if obj != nil && !stopped[obj] {
+									p.Reportf(call.Pos(), "time.%s result %s is never stopped in %s; add `defer %s.Stop()` (or stop it on every exit path) so the timer cannot outlive the timeout it guards", timeCall(p.Pkg.Info, call), id.Name, fd.Name.Name, id.Name)
+								}
+								// Constructions bound to a checked ident are
+								// settled either way; still scan the args.
+								for _, arg := range call.Args {
+									walk(arg, loopDepth)
+								}
+								return false
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				// var t = time.NewTimer(d): same binding shape as :=.
+				if len(n.Names) == 1 && len(n.Values) == 1 {
+					if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+						switch timeCall(p.Pkg.Info, call) {
+						case "NewTimer", "NewTicker", "AfterFunc":
+							obj := p.Pkg.Info.Defs[n.Names[0]]
+							if obj != nil && !stopped[obj] {
+								p.Reportf(call.Pos(), "time.%s result %s is never stopped in %s; add `defer %s.Stop()` (or stop it on every exit path) so the timer cannot outlive the timeout it guards", timeCall(p.Pkg.Info, call), n.Names[0].Name, fd.Name.Name, n.Names[0].Name)
+							}
+							for _, arg := range call.Args {
+								walk(arg, loopDepth)
+							}
+							return false
+						}
+					}
+				}
+			case *ast.CallExpr:
+				switch timeCall(p.Pkg.Info, n) {
+				case "After":
+					if loopDepth > 0 {
+						p.Reportf(n.Pos(), "time.After in a loop allocates an unstoppable timer per iteration; hoist a time.NewTimer with Stop/Reset out of the loop")
+					}
+				case "Tick":
+					p.Reportf(n.Pos(), "time.Tick leaks its ticker by design; use time.NewTicker with defer Stop")
+				case "NewTimer", "NewTicker", "AfterFunc":
+					// Reaching here means the result was not bound to a
+					// plain local (discarded, or used inline like
+					// <-time.NewTimer(d).C): nothing can ever stop it.
+					p.Reportf(n.Pos(), "time.%s result is not bound to a variable that is stopped; the timer can never be stopped", timeCall(p.Pkg.Info, n))
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+}

@@ -221,6 +221,7 @@ func (c *Coordinator) RunUnits(units []core.Unit) ([]core.Report, error) {
 					rep, msg, st = c.runOn(w, idx, units[idx], timeout, abort)
 					if st == unitOK {
 						reports[idx] = rep
+						w.completed++
 						complete()
 					}
 					outstanding, failIdx = idxs, idx
@@ -232,15 +233,32 @@ func (c *Coordinator) RunUnits(units []core.Unit) ([]core.Report, error) {
 				case unitFailed:
 					fail(failIdx, fmt.Errorf("shard: unit %s: %s", units[failIdx].ID, msg))
 				case workerDead:
+					progressed := w.completed
 					w.kill()
 					w = nil
 					c.mu.Lock()
 					c.cstats.WorkerDeaths++
 					c.mu.Unlock()
 					// Every unit the dead worker still held is re-dispatched;
-					// units it had already answered stay answered.
+					// units it had already answered stay answered. The retry
+					// budget is charged only when the worker completed nothing
+					// in its whole lifetime: a death after progress says the
+					// infrastructure failed, not that the stranded units are
+					// poisoned, so their re-dispatch is free. Termination stays
+					// bounded — every free re-dispatch is licensed by at least
+					// one completed unit, and there are only n completions to
+					// spend; a worker that never completes anything keeps
+					// charging until some unit's budget runs out.
 					exhausted := false
 					for _, oi := range outstanding {
+						if progressed > 0 {
+							c.mu.Lock()
+							c.cstats.Retries++
+							c.mu.Unlock()
+							c.logf("shard %d: %s; re-dispatching unit %s (free: worker had completed %d units)", slot, msg, units[oi].ID, progressed)
+							queue <- oi
+							continue
+						}
 						mu.Lock()
 						tries[oi]++
 						attempt := tries[oi]
@@ -252,6 +270,7 @@ func (c *Coordinator) RunUnits(units []core.Unit) ([]core.Report, error) {
 						}
 						c.mu.Lock()
 						c.cstats.Retries++
+						c.cstats.Charged++
 						c.mu.Unlock()
 						c.logf("shard %d: %s; re-dispatching unit %s (attempt %d of %d)", slot, msg, units[oi].ID, attempt+1, retries+1)
 						queue <- oi
@@ -279,8 +298,8 @@ func (c *Coordinator) RunUnits(units []core.Unit) ([]core.Report, error) {
 	c.mu.Lock()
 	cs, ws := c.cstats, c.wstats
 	c.mu.Unlock()
-	c.logf("shard: %d units over %d workers: dispatched=%d retries=%d timeouts=%d worker starts=%d deaths=%d; workers ran %d units (%d failed), %d instructions, %d measured cycles",
-		cs.Units, shards, cs.Dispatched, cs.Retries, cs.Timeouts, cs.WorkerStarts, cs.WorkerDeaths,
+	c.logf("shard: %d units over %d workers: dispatched=%d retries=%d (charged=%d) timeouts=%d worker starts=%d deaths=%d; workers ran %d units (%d failed), %d instructions, %d measured cycles",
+		cs.Units, shards, cs.Dispatched, cs.Retries, cs.Charged, cs.Timeouts, cs.WorkerStarts, cs.WorkerDeaths,
 		ws.UnitsRun, ws.UnitsFailed, ws.InstrSimulated, ws.MeasuredCycles)
 	return reports, nil
 }
@@ -370,6 +389,7 @@ func (c *Coordinator) runBurstOn(w *workerProc, idxs []int, units []core.Unit, r
 			case m.Kind == msgResult && pending[m.Seq] && m.Report != nil:
 				reports[m.Seq] = *m.Report
 				delete(pending, m.Seq)
+				w.completed++
 				complete()
 				if len(pending) == 0 {
 					return nil, 0, "", unitOK
@@ -450,6 +470,7 @@ type workerProc struct {
 	in         io.WriteCloser
 	msgs       chan workerMsg // closed when stdout ends or turns to garbage
 	stderrDone chan struct{}
+	completed  int // units this worker answered over its lifetime; owned by the slot goroutine
 }
 
 func (c *Coordinator) startWorker(slot int) (*workerProc, error) {
@@ -516,6 +537,7 @@ func (c *Coordinator) relayStderr(slot int, r io.Reader) {
 	sc.Buffer(make([]byte, 64<<10), maxLine)
 	for sc.Scan() {
 		c.errMu.Lock()
+		//lint:allow mutexhold errMu exists solely to serialise this one write; no other critical section nests inside it, and the write target is the coordinator's own log sink, never a worker pipe
 		fmt.Fprintf(out, "[shard %d] %s\n", slot, sc.Bytes())
 		c.errMu.Unlock()
 	}
@@ -566,6 +588,7 @@ func (w *workerProc) kill() {
 	if w.cmd.Process != nil {
 		w.cmd.Process.Kill()
 	}
+	//lint:allow selectabort Process.Kill above guarantees the worker's stdout hits EOF, so readLoop closes msgs; the drain is bounded by construction
 	for range w.msgs {
 	}
 	<-w.stderrDone

@@ -96,6 +96,7 @@ type CoordStats struct {
 	Units        uint64 // units in the batch
 	Dispatched   uint64 // unit dispatches, including re-dispatches
 	Retries      uint64 // re-dispatches after a worker death or timeout
+	Charged      uint64 // re-dispatches that consumed a unit's retry budget
 	Timeouts     uint64 // units reaped by the per-unit timeout
 	WorkerStarts uint64 // worker processes spawned (initial + restarts)
 	WorkerDeaths uint64 // worker processes that died before shutdown

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"reflect"
 	"strings"
@@ -183,12 +184,10 @@ func TestCoordinatorRunsUnits(t *testing.T) {
 func TestCoordinatorCrashRetry(t *testing.T) {
 	units := tinyUnits(t, 6)
 	c := newTestCoordinator(t, 2, "RENUCA_SHARD_CRASH_AFTER=1")
-	// With every worker dying on its 2nd unit, which unit gets stranded is
-	// scheduling luck; under the default budget of 2 an unlucky unit can be
-	// stranded three times and abort the run. Widen the budget so recovery,
-	// not retry exhaustion, is what this test exercises (the budget's own
-	// abort path has its own test below).
-	c.Retries = 10
+	// crashAfter=1 means every death follows at least one completed unit, so
+	// progress-aware accounting never charges a retry budget: which unit gets
+	// stranded is scheduling luck, but recovery is deterministic under the
+	// default budget. (The budget's own abort path has its own test below.)
 	got, err := c.RunUnits(units)
 	if err != nil {
 		t.Fatalf("RunUnits with crashing workers: %v", err)
@@ -200,6 +199,9 @@ func TestCoordinatorCrashRetry(t *testing.T) {
 	}
 	if cs.Retries == 0 || cs.Dispatched <= cs.Units {
 		t.Errorf("no unit was re-dispatched after a death: %+v", cs)
+	}
+	if cs.Charged != 0 {
+		t.Errorf("Charged = %d, want 0: every death followed a completion, so no re-dispatch may consume budget: %+v", cs.Charged, cs)
 	}
 	if cs.WorkerStarts <= 2 {
 		t.Errorf("dead workers were not replaced: %+v", cs)
@@ -424,5 +426,72 @@ func TestCoordinatorRetryBudget(t *testing.T) {
 	cs, _ := c.Stats()
 	if cs.Retries != 1 || cs.WorkerDeaths != 2 {
 		t.Errorf("stats = %+v, want exactly 1 retry and 2 deaths for budget 1", cs)
+	}
+	if cs.Charged != 1 {
+		t.Errorf("Charged = %d, want 1: a worker that never completes anything must consume budget", cs.Charged)
+	}
+}
+
+// TestCoordinatorStress hammers the supervision stack with randomized
+// crash and hang injection across a (shards, batch, fault) scenario
+// matrix: whatever chaos the faults produce, the merged reports must stay
+// identical to in-process serial runs of the same units, and no injected
+// death may consume retry budget (each strikes only after its worker has
+// completed at least one dispatch group). The seed is fixed so a failure
+// reproduces; variety comes from the matrix, not run-to-run randomness.
+// CI runs this under -race, where it doubles as a data-race sweep of the
+// whole coordinator/worker/burst path.
+func TestCoordinatorStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker subprocesses; skipped in -short")
+	}
+	//lint:allow nondeterminism fixed seed: the draw only varies fault timing within safe bounds; results are checked against serial references either way
+	rng := rand.New(rand.NewSource(42))
+	units := tinyUnits(t, 8)
+	scenarios := []struct {
+		name   string
+		shards int
+		batch  int
+		fault  string
+		// after is drawn from [minAfter, maxAfter]. The floor keeps every
+		// injected death "free": at least one full dispatch group (<= batch
+		// units) completes before the fault arms, so progress-aware retry
+		// accounting never charges a unit and the run cannot abort. The
+		// ceiling guarantees the fault fires at all: with 8 units over at
+		// most 2 shards, some worker always receives maxAfter+1 units.
+		minAfter, maxAfter int
+	}{
+		{"crash_serial", 1, 1, envCrashAfter, 1, 3},
+		{"crash_burst", 1, 3, envCrashAfter, 3, 4},
+		{"hang_serial", 2, 1, envHangAfter, 2, 3},
+		{"hang_burst", 2, 2, envHangAfter, 2, 3},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			after := sc.minAfter + rng.Intn(sc.maxAfter-sc.minAfter+1)
+			c := newTestCoordinator(t, sc.shards, fmt.Sprintf("%s=%d", sc.fault, after))
+			c.Batch = sc.batch
+			if sc.fault == envHangAfter {
+				// Hangs are only detected by the progress deadline; keep it
+				// short enough to reap promptly, long enough for a healthy
+				// tiny unit even under the race detector.
+				c.Timeout = 2 * time.Second
+			}
+			got, err := c.RunUnits(units)
+			if err != nil {
+				t.Fatalf("RunUnits under %s=%d: %v", sc.fault, after, err)
+			}
+			checkReports(t, units, got)
+			cs, _ := c.Stats()
+			if cs.WorkerDeaths == 0 {
+				t.Errorf("%s=%d never killed a worker: %+v", sc.fault, after, cs)
+			}
+			if cs.Retries == 0 {
+				t.Errorf("no stranded unit was re-dispatched: %+v", cs)
+			}
+			if cs.Charged != 0 {
+				t.Errorf("Charged = %d, want 0: every injected death follows completed work: %+v", cs.Charged, cs)
+			}
+		})
 	}
 }

@@ -59,12 +59,17 @@ type batch struct {
 	onDone  func(int, Result) // nil unless the caller streams completions
 	quantum int
 
-	sys       []*sim.System  // nil when the lane is parked (queue drained)
-	rs        []sim.RunState // per-lane resumable scheduler state
-	unit      []int          // unit index the lane is running
-	measuring []bool         // false: warmup phase, true: measured window
+	//lint:soalane
+	sys []*sim.System // nil when the lane is parked (queue drained)
+	//lint:soalane
+	rs []sim.RunState // per-lane resumable scheduler state
+	//lint:soalane
+	unit []int // unit index the lane is running
+	//lint:soalane
+	measuring []bool // false: warmup phase, true: measured window
 
-	wake   []uint64 // SoA wake backing, stride slots per lane
+	//lint:soa
+	wake   []uint64 // shared SoA wake backing, stride slots per lane
 	stride int      // cores per lane window; 0 until the first fill
 
 	next   int // next unit to hand to a retiring lane
@@ -221,6 +226,8 @@ func (b *batch) fill(l int) {
 // array. The stride is fixed by the first system to arrive; the rare lane
 // whose system needs more cores than the stride falls back to a private
 // allocation inside BeginRun (nil window) rather than growing the batch.
+//
+//lint:soawindow
 func (b *batch) window(l, cores int) []uint64 {
 	if b.stride == 0 {
 		b.stride = cores
