@@ -27,9 +27,14 @@
 // lane-batched shared tick loop (internal/simbatch) — per pool task
 // in-process, per dispatch burst when sharded. Again byte-identical stdout.
 //
+// With -queue (or RENUCA_QUEUE=1), every suite and ablation runs the
+// per-bank FIFO queue contention model instead of the legacy bounded-window
+// model. The contention experiment (-exp contention) arms it for its own
+// suite either way.
+//
 // Scale knobs (environment): RENUCA_INSTR, RENUCA_WARMUP (16-core runs),
 // RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP (single-core characterisation),
-// RENUCA_SEED, RENUCA_WORKERS, RENUCA_SHARDS, RENUCA_BATCH.
+// RENUCA_SEED, RENUCA_WORKERS, RENUCA_SHARDS, RENUCA_BATCH, RENUCA_QUEUE.
 package main
 
 import (
@@ -53,6 +58,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = RENUCA_WORKERS or one per CPU)")
 	shards := flag.Int("shards", 0, "run suite simulations on N worker processes (0 = RENUCA_SHARDS or in-process)")
 	batch := flag.Int("batch", 0, "lane-batch B suite simulations per task through one shared tick loop (0 = RENUCA_BATCH or unbatched)")
+	queue := flag.Bool("queue", false, "arm the per-bank FIFO queue contention model in every experiment (or RENUCA_QUEUE=1)")
 	shardWorker := flag.Bool("shard-worker", false, "(internal) run as a shard worker: units on stdin, results on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -108,6 +114,9 @@ func main() {
 	}
 	if *batch > 0 {
 		params.Batch = *batch
+	}
+	if *queue {
+		params.QueueModel = true
 	}
 	r := experiments.NewRunner(params)
 	if !*quiet {

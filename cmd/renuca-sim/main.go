@@ -10,6 +10,7 @@
 //	renuca-sim -all -workload WL1                  (all 5 policies, in parallel)
 //	renuca-sim -all -workload WL1 -shards 4        (all 5 policies, 4 worker processes)
 //	renuca-sim -all -workload WL1 -batch 5         (all 5 policies, one lane-batched tick loop)
+//	renuca-sim -queue -workload WL1                (FIFO bank-queue contention model)
 //
 // With -all, the five policies simulate concurrently on a bounded worker
 // pool (RENUCA_WORKERS or -workers, default one per CPU) and a comparison
@@ -19,6 +20,12 @@
 // wall-clock banner goes to stderr so outputs diff cleanly across modes.
 // With -batch B (or RENUCA_BATCH), units run B per pool task (or B per
 // shard dispatch) through the lane-batched executor — again the same bytes.
+//
+// With -queue, the LLC banks run the per-bank FIFO queue contention model
+// instead of the legacy bounded-window model: every request is charged its
+// full wait behind in-flight occupancy, op-history transitions (RAR/RAW/
+// WAR/WAW) are counted, and per-bank read/write service-latency histograms
+// print after the standard breakdown.
 package main
 
 import (
@@ -68,6 +75,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations with -all (0 = RENUCA_WORKERS or one per CPU)")
 	shards := flag.Int("shards", 0, "with -all: run simulations on N worker processes (0 = RENUCA_SHARDS or in-process)")
 	batch := flag.Int("batch", 0, "with -all: lane-batch B simulations per task through one shared tick loop (0 = RENUCA_BATCH or unbatched)")
+	queue := flag.Bool("queue", false, "arm the per-bank FIFO queue contention model (op-history and service histograms)")
 	shardWorker := flag.Bool("shard-worker", false, "(internal) run as a shard worker: units on stdin, results on stdout")
 	flag.Parse()
 
@@ -113,6 +121,7 @@ func main() {
 	cfg := sim.DefaultConfig(policy)
 	cfg.Seed = *seed
 	cfg.CPT.ThresholdPct = *threshold
+	cfg.LLC.QueueModel = *queue
 	if len(apps) != cfg.Cores {
 		fmt.Fprintf(os.Stderr, "renuca-sim: %d apps for %d cores\n", len(apps), cfg.Cores)
 		os.Exit(1)
@@ -129,7 +138,7 @@ func main() {
 
 	if *all {
 		runAllPolicies(wlName, apps, *instr, *warmup, *seed, *threshold, *workers,
-			pool.DefaultShards(*shards), pool.DefaultBatch(*batch))
+			pool.DefaultShards(*shards), pool.DefaultBatch(*batch), *queue)
 		return
 	}
 
@@ -171,6 +180,16 @@ func main() {
 	fmt.Printf("\nLLC: read hits=%d misses=%d writebacks=%d (hit %d) fills=%d crit-fills=%d noncrit-fills=%d fallback probes=%d hits=%d\n",
 		llc.ReadHits, llc.ReadMisses, llc.Writebacks, llc.WritebackHits, llc.Fills,
 		llc.CriticalFills, llc.NonCriticalFills, llc.FallbackProbes, llc.FallbackHits)
+	if *queue {
+		q := llc.Queue
+		fmt.Printf("bank queue: RAR=%d RAW=%d WAR=%d WAW=%d reads queued=%d (%d wait cycles) writes queued=%d (%d wait cycles)\n",
+			q.RAR, q.RAW, q.WAR, q.WAW, q.ReadQueued, q.ReadWaitCycles, q.WriteQueued, q.WriteWaitCycles)
+		fmt.Println("per-bank service latency [cycles, log2 buckets]:")
+		for b, svc := range res.BankService {
+			fmt.Printf("  CB-%d reads %d: %s\n", b, svc.Read.Total(), svc.Read.String())
+			fmt.Printf("       writes %d: %s\n", svc.Write.Total(), svc.Write.String())
+		}
+	}
 	ns := s.Mesh().Stats()
 	fmt.Printf("NoC: messages=%d hops=%d stall-cycles=%d\n", ns.Messages, ns.TotalHops, ns.StallCycles)
 	ds := s.DRAM().Stats()
@@ -197,7 +216,9 @@ func main() {
 // shard coordinator; batch > 1 lane-batches units on either path. All
 // modes file reports positionally and print the identical table, so they
 // diff clean on stdout (wall-clock and supervision chatter go to stderr).
-func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards, batch int) {
+// With queue set, the units run the FIFO bank-queue contention model and a
+// second table of op-history and queueing totals follows the comparison.
+func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards, batch int, queue bool) {
 	policies := nuca.Policies()
 	units := make([]core.Unit, len(policies))
 	for i, p := range policies {
@@ -207,6 +228,7 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 		o.Warmup = warmup
 		o.Seed = seed
 		o.CriticalityThresholdPct = threshold
+		o.QueueModel = queue
 		units[i] = core.Unit{ID: "all/" + p.String() + "/" + wlName, Workload: wlName, Opts: o}
 	}
 	reports := make([]core.Report, len(units))
@@ -258,4 +280,16 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 			stats.HarmonicMean(rep.BankLifetimes), rep.WriteImbalance, rep.LLCWrites())
 	}
 	w.Flush()
+	if queue {
+		fmt.Println()
+		qw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(qw, "policy\tRAR\tRAW\tWAR\tWAW\trd queued\trd wait[cyc]\twr queued\twr wait[cyc]")
+		for _, rep := range reports {
+			q := rep.LLC.Queue
+			fmt.Fprintf(qw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				rep.Policy, q.RAR, q.RAW, q.WAR, q.WAW,
+				q.ReadQueued, q.ReadWaitCycles, q.WriteQueued, q.WriteWaitCycles)
+		}
+		qw.Flush()
+	}
 }

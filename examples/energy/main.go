@@ -43,7 +43,7 @@ func main() {
 			reram = b
 		}
 		fmt.Printf("%-6s %12.3f %13.3f %10.3f %9.3f %11.3f %10.0f%%\n",
-			tech.Name, b.LLCDynamic, b.LLCLeakage, b.DRAM, b.NoC, b.Total(), 100*b.LeakageShare())
+			tech.Name, b.LLCDynamic, b.LLCLeakage, b.DRAM(), b.NoC(), b.Total(), 100*b.LeakageShare())
 	}
 
 	llcSRAM := sram.LLCDynamic + sram.LLCLeakage

@@ -91,16 +91,63 @@ func TestDRAMAndNoCIndependentOfTechnology(t *testing.T) {
 	c := sampleCounts()
 	sr, _ := Estimate(SRAM(), c)
 	rr, _ := Estimate(ReRAM(), c)
-	if sr.DRAM != rr.DRAM || sr.NoC != rr.NoC {
+	if sr.DRAM() != rr.DRAM() || sr.NoC() != rr.NoC() {
 		t.Error("off-LLC energy must not depend on the LLC technology")
+	}
+	if sr.DRAMBackground != rr.DRAMBackground {
+		t.Error("DRAM background power must not depend on the LLC technology")
 	}
 }
 
 func TestTotalIsSum(t *testing.T) {
 	b, _ := Estimate(SRAM(), sampleCounts())
-	sum := b.LLCDynamic + b.LLCLeakage + b.DRAM + b.NoC
+	sum := b.LLCDynamic + b.LLCLeakage + b.DRAMDynamic + b.DRAMBackground + b.NoCRouter + b.NoCLink
 	if math.Abs(b.Total()-sum) > 1e-12 {
 		t.Errorf("Total %v != sum %v", b.Total(), sum)
+	}
+}
+
+// TestEnergyPartition pins the split components against the aggregates they
+// partition: router + link energy reproduces the historical 0.05 nJ/hop NoC
+// figure exactly (splitting must not change any NoC total), each NoC share
+// is strictly positive, and DRAM background is pure standby — proportional
+// to time, independent of traffic.
+func TestEnergyPartition(t *testing.T) {
+	c := sampleCounts()
+	b, err := Estimate(ReRAM(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const legacyHopNJ = 0.05
+	wantNoC := float64(c.NoCHops) * legacyHopNJ * 1e-6
+	if math.Abs(b.NoC()-wantNoC) > 1e-9 {
+		t.Errorf("router %.6f + link %.6f = %.6f mJ, want legacy per-hop total %.6f",
+			b.NoCRouter, b.NoCLink, b.NoC(), wantNoC)
+	}
+	if b.NoCRouter <= 0 || b.NoCLink <= 0 {
+		t.Errorf("both NoC shares must be positive: router %v link %v", b.NoCRouter, b.NoCLink)
+	}
+	if b.NoCRouter <= b.NoCLink {
+		t.Errorf("router share %.6f should dominate the link share %.6f (buffers+crossbar beat wires)",
+			b.NoCRouter, b.NoCLink)
+	}
+
+	// Background scales with time only.
+	longer := c
+	longer.Seconds *= 3
+	lb, _ := Estimate(ReRAM(), longer)
+	if math.Abs(lb.DRAMBackground-3*b.DRAMBackground) > 1e-9 {
+		t.Errorf("background %.6f at 3x time, want 3x %.6f", lb.DRAMBackground, b.DRAMBackground)
+	}
+	busier := c
+	busier.DRAMReads *= 10
+	busier.DRAMWrites *= 10
+	bb, _ := Estimate(ReRAM(), busier)
+	if bb.DRAMBackground != b.DRAMBackground {
+		t.Error("background must be independent of DRAM traffic")
+	}
+	if bb.DRAMDynamic <= b.DRAMDynamic {
+		t.Error("dynamic DRAM energy must grow with traffic")
 	}
 }
 

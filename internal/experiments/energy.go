@@ -28,6 +28,7 @@ func (r *Runner) EnergyStudy() ([]EnergyPoint, error) {
 		o.InstrPerCore = r.P.InstrPerCore
 		o.Warmup = r.P.Warmup
 		o.Seed = r.P.Seed
+		o.QueueModel = r.P.QueueModel
 		o.Apps = wl.Apps
 		r.logf("energy", "energy study: %s on %s", p, wl.Name)
 		rep, err := core.Run(o)
@@ -56,12 +57,13 @@ func (r *Runner) EnergyStudy() ([]EnergyPoint, error) {
 func RenderEnergyStudy(points []EnergyPoint) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Energy study on WL1: LLC technology comparison (motivation, paper §I)")
-	fmt.Fprintf(&b, "%-9s %-6s %12s %12s %9s %8s %10s %12s\n",
-		"policy", "tech", "LLC dyn[mJ]", "LLC leak[mJ]", "DRAM[mJ]", "NoC[mJ]", "total[mJ]", "leak share")
+	fmt.Fprintf(&b, "%-9s %-6s %12s %12s %9s %8s %8s %8s %10s %12s\n",
+		"policy", "tech", "LLC dyn[mJ]", "LLC leak[mJ]", "DRAM dyn", "DRAM bg", "NoC rtr", "NoC lnk", "total[mJ]", "leak share")
 	for _, p := range points {
 		bd := p.Breakdown
-		fmt.Fprintf(&b, "%-9s %-6s %12.3f %12.3f %9.3f %8.3f %10.3f %11.0f%%\n",
-			p.Policy, bd.Technology, bd.LLCDynamic, bd.LLCLeakage, bd.DRAM, bd.NoC,
+		fmt.Fprintf(&b, "%-9s %-6s %12.3f %12.3f %9.3f %8.3f %8.3f %8.3f %10.3f %11.0f%%\n",
+			p.Policy, bd.Technology, bd.LLCDynamic, bd.LLCLeakage,
+			bd.DRAMDynamic, bd.DRAMBackground, bd.NoCRouter, bd.NoCLink,
 			bd.Total(), 100*bd.LeakageShare())
 	}
 	b.WriteString("(SRAM's LLC energy is leakage-dominated — the paper's case for ReRAM;\n")

@@ -47,6 +47,12 @@ type Params struct {
 	// 0 or 1 keeps the reference one-simulation-per-task path. Results are
 	// byte-identical for every lane width.
 	Batch int
+	// QueueModel arms the per-bank FIFO queue contention model in every
+	// suite and ablation the Runner executes (core.Options.QueueModel).
+	// Off by default: the legacy windowed model keeps all existing goldens
+	// byte-identical. The contention experiment arms it for itself either
+	// way.
+	QueueModel bool
 }
 
 // DefaultParams returns the standard scale.
@@ -62,8 +68,9 @@ func DefaultParams() Params {
 
 // ParamsFromEnv starts from DefaultParams and applies the RENUCA_INSTR,
 // RENUCA_WARMUP, RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP, RENUCA_SEED,
-// RENUCA_WORKERS and RENUCA_BATCH environment overrides, so benchmark runs
-// can be scaled without editing code.
+// RENUCA_WORKERS, RENUCA_BATCH and RENUCA_QUEUE environment overrides, so
+// benchmark runs can be scaled without editing code. RENUCA_QUEUE=1 (or
+// "true") arms the bank-queue contention model across all experiments.
 func ParamsFromEnv() Params {
 	p := DefaultParams()
 	get := func(name string, dst *uint64) {
@@ -78,6 +85,9 @@ func ParamsFromEnv() Params {
 	get("RENUCA_CHAR_INSTR", &p.CharInstr)
 	get("RENUCA_CHAR_WARMUP", &p.CharWarmup)
 	get("RENUCA_SEED", &p.Seed)
+	if v := os.Getenv("RENUCA_QUEUE"); v == "1" || v == "true" {
+		p.QueueModel = true
+	}
 	p.Workers = pool.DefaultWorkers(0)
 	p.Batch = pool.DefaultBatch(0)
 	return p
@@ -140,6 +150,9 @@ type Runner struct {
 	suiteFlight  pool.Flight[string, map[string]core.SuiteReport]
 	table2Flight pool.Flight[string, []Table2Row]
 	sweepFlight  pool.Flight[string, []ThresholdPoint]
+
+	queueMu sync.Mutex
+	queueR  *Runner
 }
 
 // NewRunner builds a Runner with the given parameters.
@@ -189,6 +202,7 @@ func (r *Runner) policyOptions(v Variant, p core.Policy) core.Options {
 	o.InstrPerCore = r.P.InstrPerCore
 	o.Warmup = r.P.Warmup
 	o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
+	o.QueueModel = r.P.QueueModel
 	v.Mod(&o)
 	return o
 }
@@ -233,6 +247,28 @@ func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
 		}
 		return set, nil
 	})
+}
+
+// queueRunner returns a Runner whose suites run with the bank-queue
+// contention model armed. When r already has it on, r itself is returned
+// and the contention experiment shares r's memoised suites; otherwise a
+// derived Runner (same scale, Log and Exec, its own memoisation) is built
+// once and cached, so the queue-on suites never perturb r's queue-off
+// suites — the existing goldens stay byte-identical.
+func (r *Runner) queueRunner() *Runner {
+	if r.P.QueueModel {
+		return r
+	}
+	r.queueMu.Lock()
+	defer r.queueMu.Unlock()
+	if r.queueR == nil {
+		qp := r.P
+		qp.QueueModel = true
+		// Share r's pool so total simulation concurrency stays bounded at
+		// P.Workers across both runners.
+		r.queueR = &Runner{P: qp, Log: r.Log, Exec: r.Exec, pool: r.pool}
+	}
+	return r.queueR
 }
 
 // suiteSetSharded dispatches a variant's full policy-cross-workload unit

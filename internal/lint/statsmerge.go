@@ -117,16 +117,32 @@ func statsLike(pkgPath, name string) bool {
 		strings.HasSuffix(name, "Counts")
 }
 
-// numericCarrier reports whether t carries numeric data: a numeric basic
-// type, or a slice/array of numeric element type.
-func numericCarrier(t types.Type) bool {
+// numericCarrier reports whether t carries numeric data the reflection
+// merge/snapshot net would traverse: a numeric basic type, a slice or
+// fixed-size array of carrier elements (histograms are arrays of buckets),
+// or a struct with at least one exported carrier field (nested sub-stat
+// structs, and slices/arrays of them). Composition is followed to a
+// bounded depth so self-referential types cannot recurse forever.
+func numericCarrier(t types.Type) bool { return numericCarrierAt(t, 0) }
+
+func numericCarrierAt(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
 	switch u := t.Underlying().(type) {
 	case *types.Basic:
 		return u.Info()&types.IsNumeric != 0
 	case *types.Slice:
-		return numericCarrier(u.Elem())
+		return numericCarrierAt(u.Elem(), depth+1)
 	case *types.Array:
-		return numericCarrier(u.Elem())
+		return numericCarrierAt(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Exported() && numericCarrierAt(f.Type(), depth+1) {
+				return true
+			}
+		}
 	}
 	return false
 }

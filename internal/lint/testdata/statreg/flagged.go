@@ -16,6 +16,17 @@ type OrphanBankCounters struct { // want `OrphanBankCounters never reaches`
 	Writes []uint64
 }
 
+// orphanBucket is the nested shape: exported numbers one composition level
+// down.
+type orphanBucket struct{ Count uint64 }
+
+// OrphanServiceStats carries its numbers only through a slice of nested
+// structs — a carrier the analyzer must see through, or histogram-bearing
+// stats structs could skip the net unnoticed.
+type OrphanServiceStats struct { // want `OrphanServiceStats never reaches`
+	Banks []orphanBucket
+}
+
 // labelCounts is Stats-like by suffix but carries no exported numeric
 // field, so there is nothing the net could lose.
 type labelCounts struct {

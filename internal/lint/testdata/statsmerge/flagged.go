@@ -28,3 +28,25 @@ type BankCounters struct {
 func render(b BankCounters) int {
 	return len(b.Writes)
 }
+
+// histogram is a fixed-size bucket array — the carrier shape the service-
+// latency histograms use.
+type histogram [4]uint64
+
+// subTotals is not Stats-like itself, but a struct with exported numeric
+// fields is a numeric carrier when it appears as a field.
+type subTotals struct{ Waits uint64 }
+
+// ServiceStats shows array- and nested-struct-valued counter fields are
+// held to the contract: Reads is consumed below, WriteHist and Queue never
+// are. (WriteHist, not Writes: references match per package and field
+// name, and BankCounters.Writes above is already read.)
+type ServiceStats struct {
+	Reads     histogram
+	WriteHist histogram // want `WriteHist`
+	Queue     subTotals // want `Queue`
+}
+
+func renderService(s ServiceStats) uint64 {
+	return s.Reads[0]
+}

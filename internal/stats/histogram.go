@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// HistBuckets is the fixed bucket count of Histogram. Buckets are
+// power-of-two (log2) ranges: bucket 0 holds the value 0, bucket i holds
+// [2^(i-1), 2^i), and the last bucket absorbs everything at or above
+// 2^(HistBuckets-2). Twenty buckets cover service latencies up to ~262k
+// cycles exactly — far beyond any sane bank backlog — before saturating.
+const HistBuckets = 20
+
+// Histogram is a fixed-size log2-bucketed counter distribution, the shape
+// the sniper NUCA model uses for per-address service-count histograms. A
+// fixed-size array (not a map) keeps it mergeable element-wise by
+// MergeNumeric, snapshot-stable for byte-identical reports, and free of
+// hot-path allocation: Observe is two instructions and an increment.
+type Histogram [HistBuckets]uint64
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h[b]++
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// HistBucketLabel names bucket i's value range ("0", "1", "2-3", "4-7", …,
+// ">=262144" for the saturating last bucket).
+func HistBucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "0"
+	case i == 1:
+		return "1"
+	case i == HistBuckets-1:
+		return fmt.Sprintf(">=%d", uint64(1)<<(HistBuckets-2))
+	default:
+		lo := uint64(1) << (i - 1)
+		return fmt.Sprintf("%d-%d", lo, lo*2-1)
+	}
+}
+
+// String renders the non-empty buckets as "label:count" pairs — the compact
+// digest the CLI reports print per bank. An empty histogram renders "-".
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", HistBucketLabel(i), c)
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	var h stats.Histogram
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{100, 7}, // 64..127
+		{262143, stats.HistBuckets - 2},  // last exact bucket: 2^17..2^18-1
+		{262144, stats.HistBuckets - 1},  // first saturated value, 2^18
+		{1 << 40, stats.HistBuckets - 1}, // saturates in the last bucket
+	}
+	for _, c := range cases {
+		before := h[c.bucket]
+		h.Observe(c.v)
+		if h[c.bucket] != before+1 {
+			t.Errorf("Observe(%d) did not land in bucket %d: %v", c.v, c.bucket, h)
+		}
+	}
+	if h.Total() != uint64(len(cases)) {
+		t.Errorf("Total = %d, want %d", h.Total(), len(cases))
+	}
+}
+
+// Property: every observation lands in exactly one bucket, and the bucket's
+// labelled range contains the value (the last bucket is open-ended).
+func TestHistogramEveryValueCounted(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var h stats.Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	want := map[int]string{
+		0:                     "0",
+		1:                     "1",
+		2:                     "2-3",
+		3:                     "4-7",
+		7:                     "64-127",
+		stats.HistBuckets - 1: ">=262144",
+	}
+	for i, w := range want {
+		if got := stats.HistBucketLabel(i); got != w {
+			t.Errorf("label(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h stats.Histogram
+	if h.String() != "-" {
+		t.Errorf("empty histogram renders %q, want -", h.String())
+	}
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(6)
+	s := h.String()
+	if !strings.Contains(s, "0:1") || !strings.Contains(s, "4-7:2") {
+		t.Errorf("rendered %q, want 0:1 and 4-7:2", s)
+	}
+}
+
+// TestHistogramMergesElementWise pins the property everything downstream
+// relies on: a Histogram is a fixed-size array the reflection net merges
+// bucket by bucket, so suite aggregation of per-bank histograms is exact.
+func TestHistogramMergesElementWise(t *testing.T) {
+	var a, b stats.Histogram
+	a.Observe(3)
+	a.Observe(100)
+	b.Observe(3)
+	b.Observe(0)
+	type wrap struct{ H stats.Histogram }
+	dst := wrap{H: a}
+	stats.MergeNumeric(&dst, wrap{H: b})
+	if dst.H[2] != 2 { // two observations of 3
+		t.Errorf("bucket 2 = %d, want 2", dst.H[2])
+	}
+	if dst.H.Total() != a.Total()+b.Total() {
+		t.Errorf("merged total %d, want %d", dst.H.Total(), a.Total()+b.Total())
+	}
+	snap := stats.SnapshotNumeric(dst)
+	if len(snap) != stats.HistBuckets {
+		t.Errorf("snapshot has %d paths, want one per bucket (%d)", len(snap), stats.HistBuckets)
+	}
+	if snap["H[2]"] != 2 {
+		t.Errorf("snapshot H[2] = %v, want 2", snap["H[2]"])
+	}
+}
