@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race simcheck check bench bench-archive bench-full profile
+.PHONY: build vet lint lint-self test race simcheck check bench bench-archive bench-full profile
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,20 @@ vet:
 	$(GO) vet ./...
 
 # Domain static analysis: nondeterminism, maporder, statsmerge, seedflow,
-# poolslot, allocfree, hotdiv, statreg, invariantcall, plus the concurrency
-# contracts goroleak, mutexhold, timerleak, selectabort, laneiso. See README
+# poolslot, allocfree, hotdiv, statreg, invariantcall, the concurrency
+# contracts goroleak, mutexhold, timerleak, selectabort, laneiso, plus the
+# config-plumbing/cache-key dataflow checks optflow and keyflow. See README
 # "Determinism invariants" and "Correctness tooling".
 lint:
 	$(GO) run ./cmd/renuca-lint ./...
+
+# The lint self-test: fixture `want` harness for every analyzer, the allow
+# hardening (unknown/stale) fixtures, the pinned roster, and the -json
+# schema gate.
+lint-self:
+	$(GO) test ./internal/lint/ ./cmd/renuca-lint/ -short
+	$(GO) run ./cmd/renuca-lint -json ./... > /tmp/renuca-lint.json
+	$(GO) run ./cmd/renuca-lint -check-json < /tmp/renuca-lint.json
 
 test:
 	$(GO) test ./...
@@ -48,8 +57,8 @@ BENCHCOUNT ?= 1
 bench:
 	$(GO) build -o /tmp/renuca-benchjson ./cmd/renuca-benchjson
 	$(GO) test -run='^$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) \
-		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim|BenchmarkSuiteThroughput' \
-		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim > /tmp/renuca-bench.txt
+		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim|BenchmarkSuiteThroughput|BenchmarkLintRepo' \
+		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim ./internal/lint > /tmp/renuca-bench.txt
 	/tmp/renuca-benchjson -o BENCH.json < /tmp/renuca-bench.txt
 
 # Snapshot the current BENCH.json into the per-PR history as BENCH_$(N).json

@@ -35,6 +35,13 @@
 // Scale knobs (environment): RENUCA_INSTR, RENUCA_WARMUP (16-core runs),
 // RENUCA_CHAR_INSTR, RENUCA_CHAR_WARMUP (single-core characterisation),
 // RENUCA_SEED, RENUCA_WORKERS, RENUCA_SHARDS, RENUCA_BATCH, RENUCA_QUEUE.
+//
+// Hardware knobs (environment, zero/unset = the paper's Table I values):
+// RENUCA_L2, RENUCA_L3BANK (bytes), RENUCA_ROB (entries), RENUCA_THRESHOLD
+// (criticality percent), RENUCA_INTRABANK_WL=1, RENUCA_WRITE_LAT and
+// RENUCA_CWINDOW (cycles). They override every suite the run executes; the
+// Runner folds them into its memo keys so differently-configured runs can
+// never share a cached suite.
 package main
 
 import (

@@ -1,9 +1,10 @@
-// Command renuca-lint runs the project's fourteen domain analyzers (package
+// Command renuca-lint runs the project's sixteen domain analyzers (package
 // internal/lint) — determinism, stats-invariant, hot-path allocation/divide,
-// sanitizer-coverage, and concurrency-safety checks — over the module and
-// reports violations as file:line:col diagnostics. It exits 0 on a clean
-// tree, 1 when any diagnostic is reported, and 2 on usage or load errors,
-// so `make check` can gate on it.
+// sanitizer-coverage, concurrency-safety, and config-plumbing/cache-key
+// dataflow checks — over the module and reports violations as
+// file:line:col diagnostics. It exits 0 on a clean tree, 1 when any
+// diagnostic is reported, and 2 on usage or load errors, so `make check`
+// can gate on it.
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	renuca-lint -disable maporder ./...     # all but one analyzer
 //	renuca-lint -enable seedflow ./...      # exactly one analyzer
 //	renuca-lint -json ./...                 # machine-readable diagnostics
+//	renuca-lint -check-json < lint.json     # validate -json output schema
 //	renuca-lint -github ./...               # GitHub Actions ::error annotations
 //	renuca-lint -list                       # analyzer names and docs
 //
@@ -27,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +39,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	checkJSON := flag.Bool("check-json", false, "validate -json output (read from stdin) against the diagnostic schema and exit")
 	githubOut := flag.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
@@ -45,6 +49,14 @@ func main() {
 	if *jsonOut && *githubOut {
 		fmt.Fprintln(os.Stderr, "renuca-lint: -json and -github are mutually exclusive")
 		os.Exit(2)
+	}
+
+	if *checkJSON {
+		if err := validateJSON(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "renuca-lint: -check-json:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {
@@ -112,6 +124,56 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// validateJSON checks a -json diagnostics document against the schema CI
+// consumers parse: a top-level array whose elements carry exactly the keys
+// analyzer, file, line, col, message — strings non-empty, line and col
+// integers >= 1. A drifted field name or type fails here instead of
+// silently producing empty annotations downstream.
+func validateJSON(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	var doc []map[string]any
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("not a JSON array of diagnostics: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after the diagnostics array")
+	}
+	wantKeys := []string{"analyzer", "file", "line", "col", "message"}
+	for i, d := range doc {
+		if len(d) != len(wantKeys) {
+			return fmt.Errorf("diagnostic %d has %d keys, want exactly %d (%s)",
+				i, len(d), len(wantKeys), strings.Join(wantKeys, ", "))
+		}
+		for _, k := range []string{"analyzer", "file", "message"} {
+			v, ok := d[k]
+			if !ok {
+				return fmt.Errorf("diagnostic %d is missing key %q", i, k)
+			}
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("diagnostic %d: %q is %T, want string", i, k, v)
+			}
+			if s == "" {
+				return fmt.Errorf("diagnostic %d: %q is empty", i, k)
+			}
+		}
+		for _, k := range []string{"line", "col"} {
+			v, ok := d[k]
+			if !ok {
+				return fmt.Errorf("diagnostic %d is missing key %q", i, k)
+			}
+			n, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("diagnostic %d: %q is %T, want number", i, k, v)
+			}
+			if n != float64(int(n)) || n < 1 {
+				return fmt.Errorf("diagnostic %d: %q = %v, want integer >= 1", i, k, v)
+			}
+		}
+	}
+	return nil
 }
 
 // githubAnnotation renders one diagnostic as a GitHub Actions workflow

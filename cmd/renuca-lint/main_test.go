@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
@@ -27,5 +30,70 @@ func TestGithubAnnotation(t *testing.T) {
 	want = "::error file=weird%2Cfile%3Aname.go,line=3,col=7,title=renuca-lint (maporder)::50%25 done%0Asecond line"
 	if got := githubAnnotation(d); got != want {
 		t.Errorf("escaped githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+// TestFilterToArgs pins the package-path argument semantics: "./..." (or no
+// argument) keeps everything, a package directory keeps only its own files,
+// and a /... suffix keeps the whole subtree.
+func TestFilterToArgs(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(rel string) lint.Diagnostic {
+		return lint.Diagnostic{File: filepath.Join(cwd, filepath.FromSlash(rel))}
+	}
+	diags := []lint.Diagnostic{
+		mk("internal/experiments/exp.go"),
+		mk("internal/core/core.go"),
+		mk("cmd/renuca-sim/main.go"),
+	}
+
+	for _, args := range [][]string{nil, {"./..."}, {"..."}} {
+		if got := filterToArgs(diags, args, cwd); len(got) != len(diags) {
+			t.Errorf("filterToArgs(%v) kept %d diagnostics, want %d", args, len(got), len(diags))
+		}
+	}
+	if got := filterToArgs(diags, []string{"./internal/experiments"}, cwd); len(got) != 1 ||
+		filepath.Base(got[0].File) != "exp.go" {
+		t.Errorf("package-dir filter kept %v, want just exp.go", got)
+	}
+	if got := filterToArgs(diags, []string{"./internal/..."}, cwd); len(got) != 2 {
+		t.Errorf("subtree filter kept %d diagnostics, want 2", len(got))
+	}
+	if got := filterToArgs(diags, []string{"./internal/experiments", "./cmd/renuca-sim"}, cwd); len(got) != 2 {
+		t.Errorf("two-dir filter kept %d diagnostics, want 2", len(got))
+	}
+}
+
+// TestValidateJSON pins the -check-json schema gate: the exact key set and
+// types of the -json output, so a drifted field name fails loudly in CI.
+func TestValidateJSON(t *testing.T) {
+	good := []string{
+		`[]`,
+		`[{"analyzer":"maporder","file":"x.go","line":3,"col":7,"message":"m"}]`,
+	}
+	for _, doc := range good {
+		if err := validateJSON(strings.NewReader(doc)); err != nil {
+			t.Errorf("validateJSON(%s) = %v, want nil", doc, err)
+		}
+	}
+
+	bad := map[string]string{
+		`{}`: "not an array",
+		`[{"analyzer":"a","file":"f","line":1,"col":1}]`:                            "missing message",
+		`[{"analyzer":"a","file":"f","line":1,"col":1,"message":"m","extra":true}]`: "unknown key",
+		`[{"analyzer":"","file":"f","line":1,"col":1,"message":"m"}]`:               "empty analyzer",
+		`[{"analyzer":"a","file":"f","line":0,"col":1,"message":"m"}]`:              "line below 1",
+		`[{"analyzer":"a","file":"f","line":1.5,"col":1,"message":"m"}]`:            "fractional line",
+		`[{"analyzer":"a","file":"f","line":"3","col":1,"message":"m"}]`:            "string line",
+		`[{"analyzer":7,"file":"f","line":1,"col":1,"message":"m"}]`:                "numeric analyzer",
+		`[] []`: "trailing data",
+	}
+	for doc, why := range bad {
+		if err := validateJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("validateJSON accepted %s (%s), want an error", doc, why)
+		}
 	}
 }

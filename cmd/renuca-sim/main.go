@@ -26,6 +26,11 @@
 // full wait behind in-flight occupancy, op-history transitions (RAR/RAW/
 // WAR/WAW) are counted, and per-bank read/write service-latency histograms
 // print after the standard breakdown.
+//
+// The Table I hardware knobs are flags too, for both run modes: -l2 and
+// -l3bank (bytes), -rob (entries), -threshold (criticality percent),
+// -intrabank-wl, -write-latency and -contention-window (cycles). Zero
+// keeps the paper's configuration.
 package main
 
 import (
@@ -40,9 +45,7 @@ import (
 	"repro/internal/nuca"
 	"repro/internal/pool"
 	"repro/internal/shard"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -70,6 +73,12 @@ func main() {
 	warmup := flag.Uint64("warmup", 150_000, "warmup instructions per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	threshold := flag.Float64("threshold", 10, "criticality threshold x% (default: the calibrated knee)")
+	l2 := flag.Uint64("l2", 0, "L2 size in bytes (0 = Table I 256KB)")
+	l3bank := flag.Uint64("l3bank", 0, "L3 bank size in bytes (0 = Table I 2MB)")
+	rob := flag.Int("rob", 0, "ROB entries per core (0 = Table I 128)")
+	intraWL := flag.Bool("intrabank-wl", false, "enable the i2wap-style intra-bank wear-leveling extension")
+	writeLat := flag.Uint("write-latency", 0, "ReRAM array write latency in cycles (0 = read latency)")
+	cwindow := flag.Uint("contention-window", 0, "legacy bank contention window in cycles (0 = historical 64)")
 	listWL := flag.Bool("list-workloads", false, "print the standard workload mixes and exit")
 	all := flag.Bool("all", false, "run all five policies on the workload, in parallel, and print a comparison")
 	workers := flag.Int("workers", 0, "max concurrent simulations with -all (0 = RENUCA_WORKERS or one per CPU)")
@@ -118,31 +127,30 @@ func main() {
 		apps = wl.Apps
 	}
 
-	cfg := sim.DefaultConfig(policy)
-	cfg.Seed = *seed
-	cfg.CPT.ThresholdPct = *threshold
-	cfg.LLC.QueueModel = *queue
-	if len(apps) != cfg.Cores {
-		fmt.Fprintf(os.Stderr, "renuca-sim: %d apps for %d cores\n", len(apps), cfg.Cores)
-		os.Exit(1)
-	}
-	profs := make([]trace.Profile, 0, len(apps))
-	for _, a := range apps {
-		p, err := trace.ProfileFor(a)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "renuca-sim:", err)
-			os.Exit(1)
-		}
-		profs = append(profs, p)
-	}
+	// One fully-resolved Options carries every knob for both run modes;
+	// core.NewSystem/core.RunUnit translate it, so a new knob plumbed
+	// there is automatically live here (optflow enforces this).
+	o := core.DefaultOptions(policy)
+	o.Apps = apps
+	o.InstrPerCore = *instr
+	o.Warmup = *warmup
+	o.Seed = *seed
+	o.CriticalityThresholdPct = *threshold
+	o.QueueModel = *queue
+	o.L2Bytes = *l2
+	o.L3BankBytes = *l3bank
+	o.ROBEntries = *rob
+	o.IntraBankWL = *intraWL
+	o.ReRAMWriteLatency = uint32(*writeLat)
+	o.BankContentionWindow = uint32(*cwindow)
 
 	if *all {
-		runAllPolicies(wlName, apps, *instr, *warmup, *seed, *threshold, *workers,
-			pool.DefaultShards(*shards), pool.DefaultBatch(*batch), *queue)
+		runAllPolicies(wlName, o, *workers,
+			pool.DefaultShards(*shards), pool.DefaultBatch(*batch))
 		return
 	}
 
-	s, err := sim.New(cfg, profs)
+	s, err := core.NewSystem(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "renuca-sim:", err)
 		os.Exit(1)
@@ -158,10 +166,10 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "core\tapp\tIPC\tWPKI\tMPKI\tTLBmiss\tnoncrit-loads\tpred-acc")
-	for i := 0; i < cfg.Cores; i++ {
+	for i := range apps {
 		ctr := s.Counters(i)
 		fmt.Fprintf(w, "%d\t%s\t%.3f\t%.2f\t%.2f\t%d\t%.1f%%\t%.1f%%\n",
-			i, profs[i].Name, res.IPC[i], res.WPKI[i], res.MPKI[i], ctr.TLBMisses,
+			i, apps[i], res.IPC[i], res.WPKI[i], res.MPKI[i], ctr.TLBMisses,
 			100*res.NonCriticalLoadFrac[i], 100*res.PredictorAccuracy[i])
 	}
 	w.Flush()
@@ -170,7 +178,7 @@ func main() {
 	wb := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(wb, "bank\twrites\tmax-frame\tlifetime[y]")
 	wear := s.LLC().Wear()
-	for b := 0; b < cfg.LLC.NumBanks; b++ {
+	for b := range res.BankLifetimes {
 		fmt.Fprintf(wb, "CB-%d\t%d\t%d\t%.2f\n",
 			b, wear.BankWrites(b), wear.MaxFrameWrites(b), res.BankLifetimes[b])
 	}
@@ -199,7 +207,7 @@ func main() {
 	fmt.Printf("MESI: readmiss=%d writemiss=%d inval=%d shootdowns=%d\n",
 		cs.ReadMisses, cs.WriteMisses, cs.Invalidations, cs.Shootdowns)
 	var tlbMiss, tlbLost uint64
-	for i := 0; i < cfg.Cores; i++ {
+	for i := range apps {
 		ts := s.TLB(i).Stats()
 		tlbMiss += ts.Misses
 		tlbLost += ts.LostMappingBits
@@ -211,24 +219,21 @@ func main() {
 
 // runAllPolicies simulates the workload under all five NUCA policies and
 // prints a comparison table in the paper's policy order. Each policy is a
-// core.Unit with the same seed, executed either on the in-process worker
-// pool or — with shards > 0 — on supervised worker processes via the
-// shard coordinator; batch > 1 lane-batches units on either path. All
+// core.Unit carrying the caller's fully-resolved base Options (same seed
+// and knobs, only the policy varies), executed either on the in-process
+// worker pool or — with shards > 0 — on supervised worker processes via
+// the shard coordinator; batch > 1 lane-batches units on either path. All
 // modes file reports positionally and print the identical table, so they
 // diff clean on stdout (wall-clock and supervision chatter go to stderr).
-// With queue set, the units run the FIFO bank-queue contention model and a
-// second table of op-history and queueing totals follows the comparison.
-func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, threshold float64, workers, shards, batch int, queue bool) {
+// With base.QueueModel set, the units run the FIFO bank-queue contention
+// model and a second table of op-history and queueing totals follows the
+// comparison.
+func runAllPolicies(wlName string, base core.Options, workers, shards, batch int) {
 	policies := nuca.Policies()
 	units := make([]core.Unit, len(policies))
 	for i, p := range policies {
-		o := core.DefaultOptions(p)
-		o.Apps = apps
-		o.InstrPerCore = instr
-		o.Warmup = warmup
-		o.Seed = seed
-		o.CriticalityThresholdPct = threshold
-		o.QueueModel = queue
+		o := base
+		o.Policy = p
 		units[i] = core.Unit{ID: "all/" + p.String() + "/" + wlName, Workload: wlName, Opts: o}
 	}
 	reports := make([]core.Report, len(units))
@@ -270,7 +275,7 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 	}
 
 	fmt.Fprintf(os.Stderr, "# all policies, instr/core=%d %s wall=%s\n",
-		instr, mode, //lint:allow nondeterminism banner reports wall-clock; results are seed-pure
+		base.InstrPerCore, mode, //lint:allow nondeterminism banner reports wall-clock; results are seed-pure
 		time.Since(start).Round(time.Millisecond))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tmean IPC\tmin life[y]\th-mean life[y]\twrite imbalance\tLLC writes")
@@ -280,7 +285,7 @@ func runAllPolicies(wlName string, apps []string, instr, warmup, seed uint64, th
 			stats.HarmonicMean(rep.BankLifetimes), rep.WriteImbalance, rep.LLCWrites())
 	}
 	w.Flush()
-	if queue {
+	if base.QueueModel {
 		fmt.Println()
 		qw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(qw, "policy\tRAR\tRAW\tWAR\tWAW\trd queued\trd wait[cyc]\twr queued\twr wait[cyc]")

@@ -173,6 +173,14 @@ func newSystem(o Options) (*sim.System, error) {
 	return sim.New(cfg, profs)
 }
 
+// NewSystem builds the simulator for fully-resolved Options, exposing the
+// single construction path (config + profile loading) to callers that need
+// the live System for detailed inspection — renuca-sim's single-run
+// breakdown drives its counters and wear tables off it. Using this instead
+// of assembling a sim.Config by hand keeps every Options knob translated
+// in exactly one place.
+func NewSystem(o Options) (*sim.System, error) { return newSystem(o) }
+
 // Run executes one workload under o and returns the Report.
 func Run(o Options) (Report, error) {
 	s, err := newSystem(o)

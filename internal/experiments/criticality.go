@@ -40,7 +40,7 @@ type ThresholdPoint struct {
 // same instruction stream — so the per-app series vary only in the
 // predictor's threshold, exactly as in the serial harness.
 func (r *Runner) ThresholdSweep() ([]ThresholdPoint, error) {
-	return r.sweepFlight.Do("sweep", func() ([]ThresholdPoint, error) {
+	return r.sweepFlight.Do(r.memoKey("sweep"), func() ([]ThresholdPoint, error) {
 		n := len(SweepApps) * len(SweepThresholds)
 		out := make([]ThresholdPoint, n)
 		err := r.pool.Map(n, func(i int) error {

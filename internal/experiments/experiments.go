@@ -33,26 +33,40 @@ type Params struct {
 	// (Table II, Figures 2, 5, 7, 8, 9), which are cheap enough to run
 	// much longer — long windows matter there because write-backs lag
 	// fills by the L2 turnover time.
-	CharInstr  uint64
-	CharWarmup uint64
+	CharInstr  uint64 //lint:allow optflow consumed by the single-core characterisation runs (RunMeasured), not Options construction
+	CharWarmup uint64 //lint:allow optflow consumed by the single-core characterisation runs (RunMeasured), not Options construction
 	Seed       uint64
 	// Workers bounds how many simulations run concurrently across ALL
 	// experiments a Runner executes (suites, characterisation, sweeps).
 	// 0 means auto: RENUCA_WORKERS if set, else one worker per CPU.
 	// Results are byte-identical for every worker count.
-	Workers int
+	Workers int //lint:allow optflow concurrency cap only: byte-identical results for every worker count, never reaches Options
 	// Batch is the lane width of the lane-batched executor
 	// (internal/simbatch): suites whose ready-unit count reaches Batch run
 	// that many simulations per pool task through one shared tick loop.
 	// 0 or 1 keeps the reference one-simulation-per-task path. Results are
-	// byte-identical for every lane width.
-	Batch int
+	// byte-identical for every lane width (the CI batch-smoke job
+	// byte-compares), so memo keys deliberately exclude it.
+	//lint:allow keyflow lane width is result-invariant by the batch-equivalence contract; folding it in would only fragment the memo cache
+	Batch int //lint:allow optflow lane width only: byte-identical results for every lane width, never reaches Options
 	// QueueModel arms the per-bank FIFO queue contention model in every
 	// suite and ablation the Runner executes (core.Options.QueueModel).
 	// Off by default: the legacy windowed model keeps all existing goldens
 	// byte-identical. The contention experiment arms it for itself either
 	// way.
 	QueueModel bool
+	// The remaining fields override the corresponding core.Options
+	// hardware knobs in every suite the Runner executes (zero = keep the
+	// paper's Table I configuration). They are applied by policyOptions
+	// before the variant's own modification, so a Table III variant still
+	// wins for the cell it defines.
+	L2Bytes                 uint64
+	L3BankBytes             uint64
+	ROBEntries              int
+	CriticalityThresholdPct float64
+	IntraBankWL             bool
+	ReRAMWriteLatency       uint32
+	BankContentionWindow    uint32
 }
 
 // DefaultParams returns the standard scale.
@@ -71,12 +85,24 @@ func DefaultParams() Params {
 // RENUCA_WORKERS, RENUCA_BATCH and RENUCA_QUEUE environment overrides, so
 // benchmark runs can be scaled without editing code. RENUCA_QUEUE=1 (or
 // "true") arms the bank-queue contention model across all experiments.
+//
+// The hardware knobs have overrides too: RENUCA_L2 and RENUCA_L3BANK
+// (bytes), RENUCA_ROB (entries), RENUCA_THRESHOLD (criticality percent),
+// RENUCA_INTRABANK_WL=1, RENUCA_WRITE_LAT (cycles) and RENUCA_CWINDOW
+// (cycles). Zero/unset keeps the paper's Table I configuration.
 func ParamsFromEnv() Params {
 	p := DefaultParams()
 	get := func(name string, dst *uint64) {
 		if v := os.Getenv(name); v != "" {
 			if n, err := strconv.ParseUint(v, 10, 64); err == nil && n > 0 {
 				*dst = n
+			}
+		}
+	}
+	get32 := func(name string, dst *uint32) {
+		if v := os.Getenv(name); v != "" {
+			if n, err := strconv.ParseUint(v, 10, 32); err == nil && n > 0 {
+				*dst = uint32(n)
 			}
 		}
 	}
@@ -88,6 +114,23 @@ func ParamsFromEnv() Params {
 	if v := os.Getenv("RENUCA_QUEUE"); v == "1" || v == "true" {
 		p.QueueModel = true
 	}
+	get("RENUCA_L2", &p.L2Bytes)
+	get("RENUCA_L3BANK", &p.L3BankBytes)
+	if v := os.Getenv("RENUCA_ROB"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			p.ROBEntries = n
+		}
+	}
+	if v := os.Getenv("RENUCA_THRESHOLD"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			p.CriticalityThresholdPct = f
+		}
+	}
+	if v := os.Getenv("RENUCA_INTRABANK_WL"); v == "1" || v == "true" {
+		p.IntraBankWL = true
+	}
+	get32("RENUCA_WRITE_LAT", &p.ReRAMWriteLatency)
+	get32("RENUCA_CWINDOW", &p.BankContentionWindow)
 	p.Workers = pool.DefaultWorkers(0)
 	p.Batch = pool.DefaultBatch(0)
 	return p
@@ -203,8 +246,36 @@ func (r *Runner) policyOptions(v Variant, p core.Policy) core.Options {
 	o.Warmup = r.P.Warmup
 	o.Seed = core.DeriveSeed(r.P.Seed, v.Key, p.String())
 	o.QueueModel = r.P.QueueModel
+	// Hardware knob overrides (zero = Table I default, matching the
+	// Options zero value, so copying unconditionally changes nothing at
+	// default scale). The variant's own modification runs last and wins.
+	o.L2Bytes = r.P.L2Bytes
+	o.L3BankBytes = r.P.L3BankBytes
+	o.ROBEntries = r.P.ROBEntries
+	o.CriticalityThresholdPct = r.P.CriticalityThresholdPct
+	o.IntraBankWL = r.P.IntraBankWL
+	o.ReRAMWriteLatency = r.P.ReRAMWriteLatency
+	o.BankContentionWindow = r.P.BankContentionWindow
 	v.Mod(&o)
 	return o
+}
+
+// memoKey folds every result-affecting Params field into a Flight memo
+// key. The Flights live per-Runner, but a Runner's P is exported and
+// mutable between calls — and PR 8's derived queue Runner exists precisely
+// because "same key, different Params" silently returns the other
+// configuration's results. Keying on the resolved Params makes that class
+// of stale hit impossible (keyflow enforces it statically). Workers and
+// Batch are deliberately excluded: results are byte-identical for every
+// worker count and lane width, so folding them in would only fragment the
+// cache.
+func (r *Runner) memoKey(base string) string {
+	p := r.P
+	return fmt.Sprintf("%s|i%d w%d ci%d cw%d s%d q%t l2b%d l3b%d rob%d th%g wl%t lat%d cw%d",
+		base, p.InstrPerCore, p.Warmup, p.CharInstr, p.CharWarmup, p.Seed,
+		p.QueueModel, p.L2Bytes, p.L3BankBytes, p.ROBEntries,
+		p.CriticalityThresholdPct, p.IntraBankWL, p.ReRAMWriteLatency,
+		p.BankContentionWindow)
 }
 
 // suiteSet runs (or returns the memoised) five-policy suite for a variant.
@@ -216,7 +287,7 @@ func (r *Runner) policyOptions(v Variant, p core.Policy) core.Options {
 // count and lane width. With Exec set, the same units ship to worker
 // processes instead — same positions, same aggregation, same bytes.
 func (r *Runner) suiteSet(v Variant) (map[string]core.SuiteReport, error) {
-	return r.suiteFlight.Do(v.Key, func() (map[string]core.SuiteReport, error) {
+	return r.suiteFlight.Do(r.memoKey(v.Key), func() (map[string]core.SuiteReport, error) {
 		policies := core.Policies()
 		reports := make([]core.SuiteReport, len(policies))
 		var err error

@@ -29,7 +29,7 @@ type Table2Row struct {
 // The applications characterise in parallel on the Runner's pool — each on
 // its own single-core System — with rows collected in AppNames order.
 func (r *Runner) Table2() ([]Table2Row, error) {
-	return r.table2Flight.Do("table2", func() ([]Table2Row, error) {
+	return r.table2Flight.Do(r.memoKey("table2"), func() ([]Table2Row, error) {
 		names := trace.AppNames()
 		rows := make([]Table2Row, len(names))
 		err := r.pool.Map(len(names), func(i int) error {

@@ -1,0 +1,126 @@
+package lint
+
+// keyflow guards the memoisation cache against stale hits: every
+// pool.Flight.Do(key, fn) call whose function (transitively, through its
+// whole call closure) reads a core.Options or experiments.Params field
+// must fold that field into the key expression — directly, through a local
+// whose initialiser carries it (key := fmt.Sprintf("%s/%d", v.Key,
+// p.Seed)), or through a helper the key calls (r.memoKey(...)). A field
+// the closure itself writes before reading the simulator's view (the
+// policyOptions pattern: Params.Seed -> Options.Seed inside the closure)
+// is keyed through its source and is not reported. Anything else means two
+// different configurations can alias one memo entry and return each
+// other's results.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+func newKeyFlow(e *fieldFlow) *Analyzer {
+	a := &Analyzer{
+		Name: "keyflow",
+		Doc:  "Options/Params fields read under a pool.Flight.Do closure must reach the memo key expression",
+	}
+	a.Run = func(p *Pass) { e.add(p) }
+	a.Finish = func(report func(Diagnostic)) {
+		e.build()
+		for _, ds := range e.doSites {
+			closure, ok := e.doClosureNode(ds)
+			if !ok {
+				continue
+			}
+			reads := e.reads[closure]
+			if len(reads) == 0 {
+				continue
+			}
+			keyed := make(map[fieldRef]bool)
+			e.keyFields(ds.pkg, ds.call.Args[0], ds.inits, keyed, 4)
+			written := make(map[fieldRef]bool)
+			for n := range e.callClosure(closure) {
+				for _, w := range e.writes {
+					if w.node == n {
+						written[w.target] = true
+					}
+				}
+			}
+			var missing []fieldRef
+			for f := range reads {
+				if !keyed[f] && !written[f] {
+					missing = append(missing, f)
+				}
+			}
+			sort.Slice(missing, func(i, j int) bool {
+				if missing[i].owner != missing[j].owner {
+					return missing[i].owner.name < missing[j].owner.name
+				}
+				return missing[i].field < missing[j].field
+			})
+			sitePos := e.fset.Position(ds.call.Pos())
+			site := filepath.Base(sitePos.Filename) + ":" + strconv.Itoa(sitePos.Line)
+			for _, f := range missing {
+				pos, ok := e.fieldPos[f]
+				d := ds.call.Pos()
+				if ok {
+					d = pos
+				}
+				report(e.diagAt(a.Name, d, fmt.Sprintf(
+					"%s is read by the memoised closure at %s but never reaches its Flight key: two values of it would alias one memo entry",
+					f, site)))
+			}
+		}
+	}
+	return a
+}
+
+// doClosureNode resolves the fn argument of a Do call to its flow node:
+// a function literal, or a named function/method referenced by value.
+func (e *fieldFlow) doClosureNode(ds doSite) (flowNode, bool) {
+	switch arg := ast.Unparen(ds.call.Args[1]).(type) {
+	case *ast.FuncLit:
+		n, ok := e.litNodes[arg.Pos()]
+		return n, ok
+	case *ast.Ident:
+		if f, ok := ds.pkg.Info.Uses[arg].(*types.Func); ok {
+			return funcNode(f), true
+		}
+	case *ast.SelectorExpr:
+		if f, ok := ds.pkg.Info.Uses[arg.Sel].(*types.Func); ok {
+			return funcNode(f), true
+		}
+	}
+	return flowNode{}, false
+}
+
+// keyFields collects every tracked field that reaches a key expression:
+// direct selector reads, locals whose initialisers carry fields (chased to
+// a bounded depth), and the transitive read set of any function the key
+// expression calls (fmt.Sprintf contributes nothing; r.memoKey(...)
+// contributes every field it folds in).
+func (e *fieldFlow) keyFields(pkg *Package, expr ast.Expr, inits map[types.Object]ast.Expr, out map[fieldRef]bool, depth int) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if ref, ok := e.fieldRefOf(pkg, v); ok {
+				out[ref] = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, v); fn != nil {
+				for f := range e.reads[funcNode(fn)] {
+					out[f] = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil && depth > 0 {
+				if init, ok := inits[obj]; ok {
+					e.keyFields(pkg, init, inits, out, depth-1)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,6 +1,6 @@
 // Package lint implements renuca-lint, the project's domain-specific static
-// analysis. Fourteen analyzers built on go/ast and go/types only enforce the
-// simulator's three contracts. The scientific contract — identical results
+// analysis. Sixteen analyzers built on go/ast and go/types only enforce the
+// simulator's four contracts. The scientific contract — identical results
 // for identical (seed, config) regardless of wall-clock, worker count, or
 // map iteration order:
 //
@@ -46,12 +46,27 @@
 //     single-lane-indexed and never sub-sliced, no package-level vars in
 //     lane-isolated packages.
 //
+// And the config-plumbing contract — every result is a pure function of a
+// fully-resolved core.Options + seed, so every knob must flow end to end
+// and every memo key must cover what its computation reads (both built on
+// the whole-program field-provenance engine in fieldflow.go):
+//
+//   - optflow: exported core.Options / experiments.Params fields must be
+//     consumed by simulator construction, settable from a CLI flag or env
+//     var in the command binaries, and survive the shard Unit JSON
+//     round-trip (no json:"-", no lossy SuiteUnits/RunUnit copy);
+//   - keyflow: a pool.Flight.Do closure that transitively reads an
+//     Options/Params field must fold that field into its key expression,
+//     or two configurations alias one memo entry.
+//
 // Intentional exceptions are annotated in place:
 //
 //	//lint:allow <analyzer> <reason>
 //
 // on the offending line or the line directly above it. The reason is
-// mandatory; a bare allow is itself reported.
+// mandatory; a bare allow is itself reported, as is an allow naming an
+// analyzer that does not exist, and an allow that suppressed nothing in
+// a run that included its analyzer (stale).
 package lint
 
 import (
@@ -118,8 +133,11 @@ type Analyzer struct {
 	Finish func(report func(Diagnostic))
 }
 
-// NewAnalyzers returns fresh instances of all fourteen analyzers.
+// NewAnalyzers returns fresh instances of all sixteen analyzers. optflow
+// and keyflow share one field-provenance engine so the whole-program graph
+// is built once per run.
 func NewAnalyzers() []*Analyzer {
+	engine := newFieldFlow()
 	return []*Analyzer{
 		newNondeterminism(),
 		newMapOrder(),
@@ -135,6 +153,8 @@ func NewAnalyzers() []*Analyzer {
 		newTimerLeak(),
 		newSelectAbort(),
 		newLaneIso(),
+		newOptFlow(engine),
+		newKeyFlow(engine),
 	}
 }
 
@@ -155,12 +175,35 @@ type allowKey struct {
 	line int
 }
 
+// allowEntry is one well-formed //lint:allow, tracked so allows that
+// suppress nothing can be reported as stale.
+type allowEntry struct {
+	pos  token.Position
+	used bool
+}
+
 // collectAllows scans every comment for //lint:allow annotations and
-// returns (position -> allowed analyzer names), plus diagnostics for
-// malformed annotations (missing analyzer or missing reason).
-func collectAllows(fset *token.FileSet, pkgs []*Package) (map[allowKey]map[string]bool, []Diagnostic) {
-	allows := make(map[allowKey]map[string]bool)
+// returns (position -> analyzer -> entry), plus diagnostics for malformed
+// annotations (missing analyzer or missing reason) and for allows naming
+// an analyzer that does not exist; those never enter the map, so they can
+// suppress nothing.
+func collectAllows(fset *token.FileSet, pkgs []*Package) (map[allowKey]map[string]*allowEntry, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, name := range AnalyzerNames() {
+		known[name] = true
+	}
+	allows := make(map[allowKey]map[string]*allowEntry)
 	var bad []Diagnostic
+	badAt := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "allow",
+			Pos:      pos,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -175,21 +218,19 @@ func collectAllows(fset *token.FileSet, pkgs []*Package) (map[allowKey]map[strin
 					fields := strings.Fields(rest)
 					pos := fset.Position(c.Pos())
 					if len(fields) < 2 {
-						bad = append(bad, Diagnostic{
-							Analyzer: "allow",
-							Pos:      pos,
-							File:     pos.Filename,
-							Line:     pos.Line,
-							Col:      pos.Column,
-							Message:  "malformed //lint:allow: need \"//lint:allow <analyzer> <reason>\"",
-						})
+						badAt(pos, "malformed //lint:allow: need \"//lint:allow <analyzer> <reason>\"")
+						continue
+					}
+					if !known[fields[0]] {
+						badAt(pos, "//lint:allow names unknown analyzer %q (known: %s)",
+							fields[0], strings.Join(AnalyzerNames(), ","))
 						continue
 					}
 					k := allowKey{pos.Filename, pos.Line}
 					if allows[k] == nil {
-						allows[k] = make(map[string]bool)
+						allows[k] = make(map[string]*allowEntry)
 					}
-					allows[k][fields[0]] = true
+					allows[k][fields[0]] = &allowEntry{pos: pos}
 				}
 			}
 		}
@@ -198,11 +239,14 @@ func collectAllows(fset *token.FileSet, pkgs []*Package) (map[allowKey]map[strin
 }
 
 // allowed reports whether d is suppressed by an annotation on its line or
-// the line directly above.
-func allowed(allows map[allowKey]map[string]bool, d Diagnostic) bool {
+// the line directly above, marking the matching entry used.
+func allowed(allows map[allowKey]map[string]*allowEntry, d Diagnostic) bool {
 	for _, line := range [2]int{d.Line, d.Line - 1} {
-		if set, ok := allows[allowKey{d.File, line}]; ok && set[d.Analyzer] {
-			return true
+		if set, ok := allows[allowKey{d.File, line}]; ok {
+			if entry, ok := set[d.Analyzer]; ok {
+				entry.used = true
+				return true
+			}
 		}
 	}
 	return false
@@ -210,7 +254,10 @@ func allowed(allows map[allowKey]map[string]bool, d Diagnostic) bool {
 
 // RunAnalyzers executes the analyzers over the packages, filters
 // //lint:allow-suppressed findings, and returns the survivors sorted by
-// position. Whole-program analyzers see every package before finishing.
+// position — plus diagnostics for malformed or unknown-analyzer allows,
+// and for stale allows: annotations whose analyzer ran in this invocation
+// yet suppressed nothing, meaning the exception they pinned no longer
+// exists. Whole-program analyzers see every package before finishing.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
@@ -231,6 +278,44 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 			kept = append(kept, d)
 		}
 	}
+	// Stale detection is scoped to the analyzers that actually ran: a
+	// partial -enable run must not condemn allows for the analyzers it
+	// skipped.
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	keys := make([]allowKey, 0, len(allows))
+	for k := range allows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		set := allows[k]
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			entry := set[name]
+			if ran[name] && !entry.used {
+				kept = append(kept, Diagnostic{
+					Analyzer: "allow",
+					Pos:      entry.pos,
+					File:     entry.pos.Filename,
+					Line:     entry.pos.Line,
+					Col:      entry.pos.Column,
+					Message:  fmt.Sprintf("stale //lint:allow %s: suppressed nothing in this run; remove it", name),
+				})
+			}
+		}
+	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.File != b.File {
@@ -242,7 +327,10 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return kept
 }

@@ -10,7 +10,7 @@ import (
 )
 
 // moduleRoot walks up from the test's working directory to go.mod.
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {
@@ -238,7 +238,7 @@ func TestRepoIsClean(t *testing.T) {
 func TestAnalyzerRoster(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
 	want := "nondeterminism,maporder,statsmerge,seedflow,poolslot,allocfree,hotdiv,statreg,invariantcall," +
-		"goroleak,mutexhold,timerleak,selectabort,laneiso"
+		"goroleak,mutexhold,timerleak,selectabort,laneiso,optflow,keyflow"
 	if got != want {
 		t.Errorf("analyzer roster %q, want %q", got, want)
 	}

@@ -1,0 +1,11 @@
+// Package fixture exercises stale-allow detection: the allow names a real
+// analyzer that runs over this package yet suppresses nothing, so the
+// exception it once pinned no longer exists and the annotation is reported.
+package fixture
+
+// answer is fully deterministic; the clock read the allow once excused is
+// long gone.
+func answer() int {
+	//lint:allow nondeterminism the clock read was removed long ago // want `stale //lint:allow nondeterminism: suppressed nothing`
+	return 42
+}

@@ -1,0 +1,13 @@
+//lint:as repro/internal/sim
+
+// Package fixture exercises unknown-analyzer detection: a typo'd analyzer
+// name in a //lint:allow is reported as unknown and suppresses nothing, so
+// the underlying finding survives.
+package fixture
+
+import "time"
+
+func typoAllow() time.Time {
+	//lint:allow nodeterminism typo: names no analyzer // want `names unknown analyzer "nodeterminism"`
+	return time.Now() // want `time.Now`
+}

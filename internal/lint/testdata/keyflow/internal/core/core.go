@@ -1,0 +1,12 @@
+// Package core is a miniature simulator-construction package: keyflow only
+// needs Options to be a tracked struct that the memoised closures build.
+package core
+
+// Options is the tracked simulator configuration.
+type Options struct {
+	Instr uint64
+	Seed  uint64
+}
+
+// Run consumes the Options.
+func Run(o Options) uint64 { return o.Instr * o.Seed }

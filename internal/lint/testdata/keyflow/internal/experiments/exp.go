@@ -1,0 +1,95 @@
+// Package experiments exercises keyflow: every Options/Params field a
+// Flight.Do closure reads (directly, through a struct copy, through an
+// interface method, or inside a nested worker closure) must reach the key
+// expression, or two configurations alias one memo entry.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lint/testdata/keyflow/internal/core"
+	"repro/internal/lint/testdata/keyflow/internal/pool"
+)
+
+// Params mirrors the real experiment parameters.
+type Params struct {
+	Instr  uint64
+	Seed   uint64
+	Extra  uint64 // want `Params\.Extra is read by the memoised closure at exp\.go:\d+ but never reaches its Flight key`
+	Iface  uint64 // want `Params\.Iface is read by the memoised closure`
+	Copy   uint64 // want `Params\.Copy is read by the memoised closure`
+	Looped uint64 // want `Params\.Looped is read by the memoised closure`
+}
+
+// Runner memoises suite results by key, exactly like the real Runner.
+type Runner struct {
+	P      Params
+	flight pool.Flight[string, uint64]
+	pl     pool.Pool
+}
+
+// Suite folds Instr and Seed into its Sprintf key but forgets Extra, which
+// also feeds the Options the closure builds. The Options fields themselves
+// are written inside the closure, so they are keyed through their sources
+// and not reported.
+func (r *Runner) Suite() (uint64, error) {
+	key := fmt.Sprintf("suite/%d/%d", r.P.Instr, r.P.Seed)
+	return r.flight.Do(key, func() (uint64, error) {
+		o := core.Options{Instr: r.P.Instr + r.P.Extra, Seed: r.P.Seed}
+		return core.Run(o), nil
+	})
+}
+
+// memoKey folds the result-affecting fields, mirroring the real Runner.
+func (r *Runner) memoKey(base string) string {
+	return fmt.Sprintf("%s|%d|%d", base, r.P.Instr, r.P.Seed)
+}
+
+// Keyed routes its key through the helper: the closure's reads are all
+// folded in by memoKey, so keyflow stays silent.
+func (r *Runner) Keyed() (uint64, error) {
+	return r.flight.Do(r.memoKey("keyed"), func() (uint64, error) {
+		return r.P.Instr * r.P.Seed, nil
+	})
+}
+
+// prober abstracts a characterisation probe; keyflow resolves the
+// interface call to every concrete implementation.
+type prober interface {
+	Probe() uint64
+}
+
+type paramProbe struct {
+	p *Params
+}
+
+// Probe reads Iface behind the interface.
+func (pp paramProbe) Probe() uint64 { return pp.p.Iface }
+
+// Characterise memoises under a constant key even though the probe's
+// implementation reads Iface through the interface dispatch.
+func (r *Runner) Characterise(pr prober) (uint64, error) {
+	return r.flight.Do("char", func() (uint64, error) {
+		return pr.Probe(), nil
+	})
+}
+
+// Snapshot reads Copy through a whole-struct copy of Params.
+func (r *Runner) Snapshot() (uint64, error) {
+	return r.flight.Do("snap", func() (uint64, error) {
+		p := r.P
+		return p.Copy, nil
+	})
+}
+
+// Fanout reads Looped inside a worker closure handed to the pool.
+func (r *Runner) Fanout() (uint64, error) {
+	return r.flight.Do("fanout", func() (uint64, error) {
+		var total uint64
+		err := r.pl.Map(3, func(i int) error {
+			total += r.P.Looped
+			return nil
+		})
+		return total, err
+	})
+}

@@ -1,0 +1,43 @@
+// Package pool is a miniature copy of the real pool package: keyflow
+// detects Do call sites by the /internal/pool path suffix, and the Pool
+// type carries worker closures the engine must follow.
+package pool
+
+import "sync"
+
+// Flight memoises fn results by key.
+type Flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// Do returns the memoised value for key, computing it with fn on a miss.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.m[key]; ok {
+		return v, nil
+	}
+	v, err := fn()
+	if err == nil {
+		if f.m == nil {
+			f.m = make(map[K]V)
+		}
+		f.m[key] = v
+	}
+	return v, err
+}
+
+// Pool runs fn for each index (serially here — concurrency is irrelevant
+// to the dataflow fixture).
+type Pool struct{}
+
+// Map invokes fn for i in [0, n).
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package experiments mirrors the Params plumbing: Scale flows into the
+// Options the simulator is built from, Dead goes nowhere.
+package experiments
+
+import "repro/internal/lint/testdata/optflow/internal/core"
+
+// Params is the experiment-level configuration.
+type Params struct {
+	Scale uint64
+	Dead  uint64 // want `Params\.Dead is never consumed by simulator construction`
+}
+
+// Apply folds Scale into Options construction, so Scale is consumed through
+// the field-to-field flow edge Options.Instr <- Params.Scale.
+func Apply(p Params) uint64 {
+	o := core.Options{Instr: p.Scale, Seed: 1}
+	return core.Run(o)
+}

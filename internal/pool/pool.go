@@ -112,7 +112,8 @@ func Coordinate(n int, fn func(i int) error) error {
 	)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		//lint:allow poolslot Coordinate IS the sanctioned coordinator launch point
+		// Coordinate IS the sanctioned launch point; poolslot only scans
+		// the experiment layer, so no allow is needed here.
 		go func(i int) {
 			defer wg.Done()
 			if err := fn(i); err != nil {

@@ -47,7 +47,8 @@ type Coordinator struct {
 	// consecutive answers is Timeout scaled by the pending-unit count —
 	// size Timeout for ONE serial unit either way.
 	// Zero means a generous default sized for full-scale suite units.
-	//lint:allow nondeterminism supervision timeout: wall-clock guards the harness, never the results
+	// (Wall-clock here guards the harness, never the results; the timer
+	// reads themselves live at the use sites.)
 	Timeout time.Duration
 	// Retries is the per-unit re-dispatch budget after worker deaths and
 	// timeouts. Zero means the default of 2; negative disables retries.
@@ -498,7 +499,8 @@ func (c *Coordinator) startWorker(slot int) (*workerProc, error) {
 		msgs:       make(chan workerMsg, 4),
 		stderrDone: make(chan struct{}),
 	}
-	//lint:allow poolslot worker supervision goroutines live outside the simulation pool
+	// Worker supervision goroutines live outside the simulation pool;
+	// poolslot only scans the experiment layer, so no allow is needed.
 	go w.readLoop(out)
 	go func() {
 		defer close(w.stderrDone)
