@@ -57,7 +57,7 @@ BENCHCOUNT ?= 1
 bench:
 	$(GO) build -o /tmp/renuca-benchjson ./cmd/renuca-benchjson
 	$(GO) test -run='^$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) \
-		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkSingleSim|BenchmarkSuiteThroughput|BenchmarkLintRepo' \
+		-bench='BenchmarkCacheLookup|BenchmarkCacheFill|BenchmarkBatchCacheLookup|BenchmarkTLBAccess|BenchmarkDirectory|BenchmarkWalk|BenchmarkBatchWalk|BenchmarkSingleSim|BenchmarkSuiteThroughput|BenchmarkLintRepo' \
 		./internal/cache ./internal/tlb ./internal/coherence ./internal/sim ./internal/lint > /tmp/renuca-bench.txt
 	/tmp/renuca-benchjson -o BENCH.json < /tmp/renuca-bench.txt
 

@@ -12,6 +12,19 @@
 //
 // For the end-to-end simulation benchmarks one op is one simulation, so
 // ops/sec is sims/sec; the JSON reports it as per_sec for all benchmarks.
+//
+// A second mode compares two summaries instead of parsing bench output —
+// the CI perf guard:
+//
+//	renuca-benchjson -baseline old/BENCH.json -current BENCH.json \
+//	    -guard BenchmarkSuiteThroughput/batch8 -max-drop-pct 10
+//
+// exits nonzero when the guarded benchmark's per_sec in -current has
+// dropped more than -max-drop-pct percent below -baseline. A baseline that
+// does not yet contain the guarded benchmark warns and passes (so adding a
+// new benchmark cannot fail the commit that introduces it); a current
+// summary missing it fails (the benchmark silently vanished). When
+// -baseline is given, stdin is not read.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -56,9 +70,89 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
+// loadDoc reads and decodes one summary file.
+func loadDoc(path string) (Doc, error) {
+	var d Doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// perSecOf finds the guarded benchmark's per_sec in a summary.
+func perSecOf(d Doc, name string) (float64, bool) {
+	for _, e := range d.Benchmarks {
+		if e.Name == name {
+			return e.PerSec, true
+		}
+	}
+	return 0, false
+}
+
+// runGuard is the compare mode: it returns the process exit code so the
+// decision table (new-benchmark pass, vanished-benchmark fail, drop-beyond-
+// threshold fail) is unit-testable without forking the binary.
+func runGuard(w io.Writer, baselinePath, currentPath, guard string, maxDropPct float64) int {
+	if currentPath == "" || guard == "" {
+		fmt.Fprintln(w, "renuca-benchjson: -baseline requires -current and -guard")
+		return 2
+	}
+	if maxDropPct < 0 {
+		fmt.Fprintf(w, "renuca-benchjson: -max-drop-pct %v must be non-negative\n", maxDropPct)
+		return 2
+	}
+	base, err := loadDoc(baselinePath)
+	if err != nil {
+		fmt.Fprintln(w, "renuca-benchjson: baseline:", err)
+		return 1
+	}
+	cur, err := loadDoc(currentPath)
+	if err != nil {
+		fmt.Fprintln(w, "renuca-benchjson: current:", err)
+		return 1
+	}
+	curPS, ok := perSecOf(cur, guard)
+	if !ok {
+		fmt.Fprintf(w, "renuca-benchjson: guard FAIL: %s missing from %s\n", guard, currentPath)
+		return 1
+	}
+	basePS, ok := perSecOf(base, guard)
+	if !ok {
+		fmt.Fprintf(w, "renuca-benchjson: guard: %s not in baseline %s yet; passing\n", guard, baselinePath)
+		return 0
+	}
+	if basePS <= 0 {
+		fmt.Fprintf(w, "renuca-benchjson: guard: baseline per_sec %v unusable; passing\n", basePS)
+		return 0
+	}
+	dropPct := (basePS - curPS) / basePS * 100
+	if dropPct > maxDropPct {
+		fmt.Fprintf(w, "renuca-benchjson: guard FAIL: %s per_sec %.4f is %.1f%% below baseline %.4f (max allowed drop %.1f%%)\n",
+			guard, curPS, dropPct, basePS, maxDropPct)
+		return 1
+	}
+	// curPS/basePS*100-100 rather than -dropPct: the latter is IEEE -0.0
+	// for identical figures and would print a spurious "-0.0%".
+	fmt.Fprintf(w, "renuca-benchjson: guard OK: %s per_sec %.4f vs baseline %.4f (%+.1f%%, max allowed drop %.1f%%)\n",
+		guard, curPS, basePS, curPS/basePS*100-100, maxDropPct)
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "BENCH.json", "output path for the JSON summary")
+	baseline := flag.String("baseline", "", "baseline summary for compare mode (skips stdin parsing)")
+	current := flag.String("current", "", "current summary to check against -baseline")
+	guard := flag.String("guard", "", "benchmark whose per_sec the compare mode protects")
+	maxDrop := flag.Float64("max-drop-pct", 10, "largest allowed per_sec drop below baseline, in percent")
 	flag.Parse()
+
+	if *baseline != "" {
+		os.Exit(runGuard(os.Stderr, *baseline, *current, *guard, *maxDrop))
+	}
 
 	samples := make(map[string][]float64)
 	var order []string

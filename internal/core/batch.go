@@ -49,6 +49,15 @@ func RunUnitsLanesFunc(units []Unit, lanes int, onDone func(i int, r UnitResult)
 			Warmup:  o.Warmup,
 			Measure: o.InstrPerCore,
 		}
+		// Opt the unit into the batch-wide state plane when its shape is
+		// computable up front; units whose configuration fails here keep
+		// the plain Build path and report the error at build time.
+		if cfg, err := config(o); err == nil {
+			if dims, err := sim.StateDims(cfg); err == nil {
+				bus[i].Dims = dims
+				bus[i].BuildIn = func(w *sim.Windows) (*sim.System, error) { return newSystemIn(o, w) }
+			}
+		}
 	}
 	out := make([]UnitResult, len(units))
 	simbatch.RunFunc(bus, lanes, 0, func(i int, r simbatch.Result) {

@@ -158,6 +158,13 @@ func config(o Options) (sim.Config, error) {
 // single construction path shared by the serial Run and the lane-batched
 // executor, so both modes simulate the identical machine.
 func newSystem(o Options) (*sim.System, error) {
+	return newSystemIn(o, nil)
+}
+
+// newSystemIn is newSystem adopting caller-owned state windows (nil w
+// allocates privately); the lane-batched executor builds each lane's
+// System inside its window of the batch-wide state plane.
+func newSystemIn(o Options, w *sim.Windows) (*sim.System, error) {
 	cfg, err := config(o)
 	if err != nil {
 		return nil, err
@@ -170,7 +177,7 @@ func newSystem(o Options) (*sim.System, error) {
 		}
 		profs = append(profs, p)
 	}
-	return sim.New(cfg, profs)
+	return sim.NewWindowed(cfg, profs, w)
 }
 
 // NewSystem builds the simulator for fully-resolved Options, exposing the

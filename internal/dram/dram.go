@@ -71,19 +71,20 @@ type Stats struct {
 	QueueCycles  uint64 // total cycles requests waited on busy banks/buses
 }
 
-type bank struct {
-	// openRows holds the scheduler's row window, most recent first. The
-	// slice is preallocated to SchedulerRows capacity at construction and
-	// only ever re-sliced, so the steady-state access path never allocates.
-	openRows []uint64
-	nextFree uint64
-}
-
 // Memory is the DDR3 model. Not safe for concurrent use.
+//
+// Bank state is laid out struct-of-arrays over one flat uint64 word array
+// (the scheduler's open-row windows, then per-bank window depths, then
+// per-bank next-free timestamps, then per-channel bus-free timestamps) so
+// a batch harness can stack many Memories' state into one backing
+// allocation (see NewWindowed).
 type Memory struct {
 	cfg       Config
-	banks     []bank
+	rows      []uint64 // open-row windows, bank-major: [bank*SchedulerRows+slot]
+	rowLen    []uint64 // per-bank count of valid slots in rows
+	nextFree  []uint64 // per-bank earliest next issue cycle
 	busFree   []uint64 // per channel
+	numBanks  int
 	stats     Stats
 	chanBits  uint
 	bankBits  uint
@@ -93,38 +94,82 @@ type Memory struct {
 	bankMask  uint64 // RanksPerChan*BanksPerRank-1, hoisted off the decode path
 }
 
-// New validates cfg and builds the memory model. Channel, rank and bank
-// counts must be powers of two so address decoding is bit slicing.
-func New(cfg Config) (*Memory, error) {
+// validate checks cfg and returns the total bank count.
+func validate(cfg Config) (int, error) {
 	if !pow2(cfg.Channels) || !pow2(cfg.RanksPerChan) || !pow2(cfg.BanksPerRank) {
-		return nil, fmt.Errorf("dram: channels/ranks/banks must be powers of two, got %d/%d/%d",
+		return 0, fmt.Errorf("dram: channels/ranks/banks must be powers of two, got %d/%d/%d",
 			cfg.Channels, cfg.RanksPerChan, cfg.BanksPerRank)
 	}
 	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
-		return nil, fmt.Errorf("dram: line size %d must be a power of two", cfg.LineBytes)
+		return 0, fmt.Errorf("dram: line size %d must be a power of two", cfg.LineBytes)
 	}
 	if cfg.RowBytes == 0 || cfg.RowBytes%cfg.LineBytes != 0 {
-		return nil, fmt.Errorf("dram: row size %d must be a positive multiple of line size %d",
+		return 0, fmt.Errorf("dram: row size %d must be a positive multiple of line size %d",
 			cfg.RowBytes, cfg.LineBytes)
 	}
 	if cfg.TCAS == 0 || cfg.TBurst == 0 {
-		return nil, fmt.Errorf("dram: zero core timing parameter")
+		return 0, fmt.Errorf("dram: zero core timing parameter")
 	}
 	if cfg.SchedulerRows <= 0 {
-		return nil, fmt.Errorf("dram: scheduler row window %d must be positive", cfg.SchedulerRows)
+		return 0, fmt.Errorf("dram: scheduler row window %d must be positive", cfg.SchedulerRows)
 	}
 	if cfg.ContentionWindow == 0 {
-		return nil, fmt.Errorf("dram: zero contention window")
+		return 0, fmt.Errorf("dram: zero contention window")
 	}
-	nb := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	return cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank, nil
+}
+
+// Backing is an externally-owned word array a Memory can adopt instead of
+// allocating its own (see NewWindowed). Layout, with nb total banks and
+// S = SchedulerRows: [nb*S open-row slots | nb window depths | nb bank
+// next-free stamps | Channels bus-free stamps]. Size one with
+// make(dram.Backing, n) where n comes from BackingWords.
+type Backing []uint64
+
+// BackingWords validates cfg and returns the number of uint64 words of
+// bank/bus state a Memory built from it holds — the exact length
+// NewWindowed requires of a non-nil backing.
+func BackingWords(cfg Config) (int, error) {
+	nb, err := validate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return nb*cfg.SchedulerRows + 2*nb + cfg.Channels, nil
+}
+
+// New validates cfg and builds the memory model with self-owned state.
+// Channel, rank and bank counts must be powers of two so address decoding
+// is bit slicing.
+func New(cfg Config) (*Memory, error) {
+	return NewWindowed(cfg, nil)
+}
+
+// NewWindowed is New adopting an externally-owned state window: backing
+// must be nil (a private array is allocated, exactly New's behaviour) or
+// hold BackingWords(cfg) words, which are zeroed on adoption so a window
+// still dirty from a retired simulation behaves like a fresh allocation.
+func NewWindowed(cfg Config, backing Backing) (*Memory, error) {
+	nb, err := validate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	words := nb*cfg.SchedulerRows + 2*nb + cfg.Channels
+	if backing == nil {
+		backing = make(Backing, words)
+	} else if len(backing) != words {
+		return nil, fmt.Errorf("dram: backing window holds %d words, config needs %d",
+			len(backing), words)
+	} else {
+		clear(backing)
+	}
+	rowWords := nb * cfg.SchedulerRows
 	m := &Memory{
-		cfg:     cfg,
-		banks:   make([]bank, nb),
-		busFree: make([]uint64, cfg.Channels),
-	}
-	rows := make([]uint64, nb*cfg.SchedulerRows)
-	for i := range m.banks {
-		m.banks[i].openRows = rows[i*cfg.SchedulerRows : i*cfg.SchedulerRows : (i+1)*cfg.SchedulerRows]
+		cfg:      cfg,
+		rows:     backing[:rowWords:rowWords],
+		rowLen:   backing[rowWords : rowWords+nb : rowWords+nb],
+		nextFree: backing[rowWords+nb : rowWords+2*nb : rowWords+2*nb],
+		busFree:  backing[rowWords+2*nb : words:words],
+		numBanks: nb,
 	}
 	m.chanBits = log2u(uint64(cfg.Channels))
 	m.bankBits = log2u(uint64(cfg.RanksPerChan * cfg.BanksPerRank))
@@ -191,36 +236,37 @@ func (m *Memory) decode(addr uint64) (ch int, bk int, row uint64) {
 //lint:hotpath
 func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	ch, bk, row := m.decode(addr)
-	b := &m.banks[bk]
+	sr := m.cfg.SchedulerRows
+	win := m.rows[bk*sr : (bk+1)*sr]
+	n := int(m.rowLen[bk])
 
 	start := now + m.cfg.TCtrl
-	if !write && b.nextFree > start {
-		if delta := b.nextFree - start; delta <= m.cfg.ContentionWindow {
+	if nf := m.nextFree[bk]; !write && nf > start {
+		if delta := nf - start; delta <= m.cfg.ContentionWindow {
 			m.stats.QueueCycles += delta
-			start = b.nextFree
+			start = nf
 		}
 	}
 
 	var coreLat uint64
-	switch hitIdx := rowIndex(b.openRows, row); {
+	switch hitIdx := rowIndex(win[:n], row); {
 	case hitIdx >= 0:
 		m.stats.RowHits++
 		coreLat = m.cfg.TCAS
 		// Refresh recency.
-		copy(b.openRows[1:hitIdx+1], b.openRows[:hitIdx])
-		b.openRows[0] = row
-	case len(b.openRows) < m.cfg.SchedulerRows:
+		copy(win[1:hitIdx+1], win[:hitIdx])
+		win[0] = row
+	case n < sr:
 		m.stats.RowMisses++
 		coreLat = m.cfg.TRCD + m.cfg.TCAS
-		n := len(b.openRows)
-		b.openRows = b.openRows[:n+1]
-		copy(b.openRows[1:], b.openRows[:n])
-		b.openRows[0] = row
+		copy(win[1:n+1], win[:n])
+		win[0] = row
+		m.rowLen[bk] = uint64(n + 1)
 	default:
 		m.stats.RowConflicts++
 		coreLat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS
-		copy(b.openRows[1:], b.openRows[:len(b.openRows)-1])
-		b.openRows[0] = row
+		copy(win[1:], win[:n-1])
+		win[0] = row
 	}
 
 	dataReady := start + coreLat
@@ -240,7 +286,7 @@ func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
 	}
 	done := busStart + m.cfg.TBurst
 	m.busFree[ch] = done
-	b.nextFree = done
+	m.nextFree[bk] = done
 	m.stats.Reads++
 	m.sanCheckBank(bk, now, done)
 	return done
@@ -257,4 +303,4 @@ func rowIndex(rows []uint64, row uint64) int {
 }
 
 // Banks returns the total number of DRAM banks (diagnostic).
-func (m *Memory) Banks() int { return len(m.banks) }
+func (m *Memory) Banks() int { return m.numBanks }

@@ -163,7 +163,7 @@ func TestDecodeCoversAllBanksAndChannels(t *testing.T) {
 		if ch < 0 || ch >= m.cfg.Channels {
 			t.Fatalf("channel %d out of range", ch)
 		}
-		if bk < 0 || bk >= len(m.banks) {
+		if bk < 0 || bk >= m.Banks() {
 			t.Fatalf("bank %d out of range", bk)
 		}
 		// Bank index must embed its channel.

@@ -13,16 +13,17 @@ import "repro/internal/sancheck"
 // times that skew out of order, so next-free timestamps may legally move
 // backwards between calls.
 func (m *Memory) sanCheckBank(bk int, now, done uint64) {
-	b := &m.banks[bk]
-	if len(b.openRows) > m.cfg.SchedulerRows {
+	n := int(m.rowLen[bk])
+	if n > m.cfg.SchedulerRows {
 		sancheck.Failf("dram: bank %d row window holds %d rows, above the scheduler depth %d",
-			bk, len(b.openRows), m.cfg.SchedulerRows)
+			bk, n, m.cfg.SchedulerRows)
 	}
-	for i := 0; i < len(b.openRows); i++ {
-		for j := i + 1; j < len(b.openRows); j++ {
-			if b.openRows[i] == b.openRows[j] {
+	win := m.rows[bk*m.cfg.SchedulerRows : bk*m.cfg.SchedulerRows+n]
+	for i := 0; i < len(win); i++ {
+		for j := i + 1; j < len(win); j++ {
+			if win[i] == win[j] {
 				sancheck.Failf("dram: bank %d row %#x appears twice in the open-row window (recency update corrupted)",
-					bk, b.openRows[i])
+					bk, win[i])
 			}
 		}
 	}

@@ -17,8 +17,10 @@ func TestSanitizerCatchesDuplicateOpenRow(t *testing.T) {
 	}
 	m.Access(0, 0, false) // opens a row in addr 0's bank
 	_, bk, row := m.decode(0)
-	b := &m.banks[bk]
-	b.openRows = append(b.openRows, row) // corrupt: same row twice
+	// Corrupt: duplicate the open row into the next window slot and grow
+	// the depth, the state a broken recency update would leave.
+	m.rows[bk*m.cfg.SchedulerRows+1] = row
+	m.rowLen[bk] = 2
 
 	defer func() {
 		r := recover()

@@ -1,0 +1,58 @@
+package nuca
+
+import (
+	"testing"
+
+	"repro/internal/rram"
+)
+
+// flagOffLLC is queueLLC with the queue model left off: same geometry and
+// write-heavy service asymmetry, legacy windowed contention path.
+func flagOffLLC(p Policy) *LLC {
+	cfg := Config{
+		Policy: p, NumBanks: 4, BankBytes: 4096, Ways: 4, LineBytes: 64,
+		MeshWidth: 2, MeshHeight: 2, BankLatency: 100, WriteLatency: 300,
+		BankOccupancy: 4, WriteOccupancy: 60, DirLatency: 20,
+	}
+	w := rram.MustNew(rram.Config{
+		Banks: 4, FramesPerBank: 4096 / 64, Endurance: 1e11, ClockHz: 2.4e9, CapYears: 50,
+	})
+	return MustNew(cfg, w)
+}
+
+// TestQueueStatsGatedWhenModelOff pins the flag-off cost of the queue
+// model at zero bookkeeping: with QueueModel=false, arbitrarily heavy
+// colliding traffic — including the far-future-reservation pattern that
+// exercises the legacy slip path — must advance no wait/queued counter, no
+// op-history transition, and allocate no service histograms. Slipped is
+// the legacy model's own honesty counter and is the single Queue field
+// allowed to move. This is the A/B assertion for the BenchmarkSingleSim
+// regression hunt: if queue/histogram bookkeeping ever leaks onto the
+// flag-off hot path again, this fails before a benchmark has to notice.
+func TestQueueStatsGatedWhenModelOff(t *testing.T) {
+	l := flagOffLLC(SNUCA)
+	state := uint64(0x9E3779B97F4A7C15) // fixed-parameter LCG address scatter
+	for i := 0; i < 5000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		bank := i % 4
+		addr := (state % 64) * 64 // collide lines so op history would fire
+		l.BankService(bank, addr, uint64(i)*3, i%3 == 0)
+	}
+	// The far-future reservation that forces the legacy slip.
+	l.BankService(0, 0, 1_000_000, true)
+	l.BankService(0, 64, 10, false)
+
+	q := l.Stats().Queue
+	if q.ReadQueued != 0 || q.WriteQueued != 0 || q.ReadWaitCycles != 0 || q.WriteWaitCycles != 0 {
+		t.Errorf("flag-off run advanced queue wait counters: %+v", q)
+	}
+	if q.RAR != 0 || q.RAW != 0 || q.WAR != 0 || q.WAW != 0 {
+		t.Errorf("flag-off run recorded op-history transitions: %+v", q)
+	}
+	if q.Slipped == 0 {
+		t.Error("legacy slip pattern did not trip Slipped; the traffic is not exercising the windowed path")
+	}
+	if got := l.ServiceStats(); got != nil {
+		t.Errorf("flag-off run allocated service histograms: %v", got)
+	}
+}

@@ -138,6 +138,25 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// A single-slot pool can never overlap two tasks, so the goroutine
+	// fan-out only adds scheduler churn and cross-goroutine cache traffic —
+	// measurably slower than serial on GOMAXPROCS=1 runners, where
+	// DefaultWorkers resolves to exactly this width. Run the tasks inline
+	// in the caller's goroutine instead, still taking the slot per task so
+	// the global concurrency cap holds across concurrent Map callers: index
+	// order and stop-at-first-error are exactly what one slot draining an
+	// ordered queue produces.
+	if cap(p.sem) == 1 {
+		for i := 0; i < n; i++ {
+			p.sem <- struct{}{}
+			err := fn(i)
+			<-p.sem
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex

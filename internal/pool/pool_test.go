@@ -246,3 +246,46 @@ func TestFlightForgetsErrors(t *testing.T) {
 		t.Fatalf("retry = %d, %v", v, err)
 	}
 }
+
+// TestMapSingleSlotRunsInline pins the single-slot fast path: a pool of
+// width 1 must run its tasks in the caller's goroutine, in strict index
+// order, and stop at the first error with exactly the earlier tasks
+// executed — no goroutine fan-out, no out-of-order starts. This is the
+// serial fallback that keeps GOMAXPROCS=1 runners (where DefaultWorkers
+// resolves to 1) from paying scheduler churn for zero parallelism.
+func TestMapSingleSlotRunsInline(t *testing.T) {
+	p := New(1)
+
+	var order []int
+	err := p.Map(20, func(i int) error {
+		order = append(order, i) // unsynchronised on purpose: inline means no race
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 20 {
+		t.Fatalf("ran %d tasks, want 20", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("task order %v: position %d ran task %d, want strict index order", order, i, v)
+		}
+	}
+
+	boom := errors.New("boom")
+	var ran []int
+	err = p.Map(20, func(i int) error {
+		ran = append(ran, i)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if want := []int{0, 1, 2, 3, 4, 5}; len(ran) != len(want) {
+		t.Fatalf("after error at 5 ran %v, want exactly %v", ran, want)
+	}
+}

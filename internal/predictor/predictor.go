@@ -8,7 +8,10 @@
 // stall-duration state is kept: the predictor only emits one bit.
 package predictor
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Config parameterises the CPT.
 type Config struct {
@@ -55,17 +58,29 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.Correct) / float64(n)
 }
 
-// entry is packed to 24 bytes: validity is encoded by the pc field using a
+// entry is packed to 16 bytes: validity is encoded by the pc field using a
 // sentinel no real load PC can take (generated PCs are word-aligned, so the
-// all-ones value is unreachable), which also makes the hot-path tag check a
-// single compare.
+// all-ones value is unreachable), which makes the hot-path tag check a
+// single compare, and both counters share one word — robBlock in the high
+// half, numLoads in the low half. 16-byte entries pack four to a cache
+// line with none straddling, which matters because the table is probed at
+// a hash-scattered index three times per load (predict, issue, commit).
+// Each counter saturates at 2^32-1 instead of carrying into its neighbour;
+// one PC would need four billion dynamic loads in a single run to get
+// there, three orders of magnitude beyond the largest sweep.
 type entry struct {
-	pc       uint64
-	numLoads uint64
-	robBlock uint64
+	pc     uint64
+	counts uint64 // robBlock<<32 | numLoads
 }
 
-const invalidPC = ^uint64(0)
+func (e entry) numLoads() uint64 { return e.counts & countMask }
+func (e entry) robBlock() uint64 { return e.counts >> countShift }
+
+const (
+	invalidPC  = ^uint64(0)
+	countShift = 32
+	countMask  = 1<<countShift - 1
+)
 
 // CPT is the Criticality Predictor Table. Each core owns one; it is not
 // safe for concurrent use.
@@ -74,6 +89,11 @@ type CPT struct {
 	mask    uint64
 	entries []entry
 	stats   Stats
+
+	// intThresh holds ThresholdPct when it is exactly integral (every
+	// configuration the sweeps use), selecting an all-integer Predict
+	// compare; 0 keeps the float path for fractional thresholds.
+	intThresh uint64
 }
 
 // New validates cfg and builds the table. Entries must be a power of two.
@@ -88,11 +108,15 @@ func New(cfg Config) (*CPT, error) {
 	for i := range entries {
 		entries[i].pc = invalidPC
 	}
-	return &CPT{
+	c := &CPT{
 		cfg:     cfg,
 		mask:    uint64(cfg.Entries - 1),
 		entries: entries,
-	}, nil
+	}
+	if t := math.Trunc(cfg.ThresholdPct); t == cfg.ThresholdPct {
+		c.intThresh = uint64(t)
+	}
+	return c, nil
 }
 
 // MustNew is New that panics on error.
@@ -125,10 +149,20 @@ func (c *CPT) index(pc uint64) *entry {
 func (c *CPT) Predict(pc uint64) bool {
 	c.stats.Predictions++
 	e := c.index(pc)
-	if e.pc != pc || e.numLoads == 0 {
+	if e.pc != pc || e.numLoads() == 0 {
 		return false
 	}
-	critical := float64(e.robBlock)*100 >= c.cfg.ThresholdPct*float64(e.numLoads)
+	// Integer form of robBlock/numLoads >= x%: with x integral and both
+	// counters 32-bit, every product below is exact in uint64 and in
+	// float64 alike, so the two compares agree bit-for-bit; the float
+	// fallback remains the documented general case for fractional
+	// thresholds.
+	var critical bool
+	if c.intThresh != 0 {
+		critical = e.robBlock()*100 >= c.intThresh*e.numLoads()
+	} else {
+		critical = float64(e.robBlock())*100 >= c.cfg.ThresholdPct*float64(e.numLoads())
+	}
 	if critical {
 		c.stats.PredictedCritical++
 	}
@@ -139,8 +173,8 @@ func (c *CPT) Predict(pc uint64) bool {
 // 6a); issues from unknown PCs leave the table unchanged until commit.
 func (c *CPT) OnLoadIssue(pc uint64) {
 	e := c.index(pc)
-	if e.pc == pc {
-		e.numLoads++
+	if e.pc == pc && e.counts&countMask != countMask {
+		e.counts++
 	}
 }
 
@@ -148,8 +182,8 @@ func (c *CPT) OnLoadIssue(pc uint64) {
 // (step 3 of Figure 6a).
 func (c *CPT) OnROBBlock(pc uint64) {
 	e := c.index(pc)
-	if e.pc == pc {
-		e.robBlock++
+	if e.pc == pc && e.counts>>countShift != countMask {
+		e.counts += 1 << countShift
 	}
 }
 
@@ -187,14 +221,14 @@ func (c *CPT) OnLoadCommit(pc uint64, predicted, blocked bool) {
 	if blocked {
 		rb = 1
 	}
-	*e = entry{pc: pc, numLoads: 1, robBlock: rb}
+	*e = entry{pc: pc, counts: rb<<countShift | 1}
 }
 
 // Lookup exposes an entry's counters for tests and diagnostics.
 func (c *CPT) Lookup(pc uint64) (numLoads, robBlock uint64, ok bool) {
 	e := c.index(pc)
 	if e.pc == pc {
-		return e.numLoads, e.robBlock, true
+		return e.numLoads(), e.robBlock(), true
 	}
 	return 0, 0, false
 }

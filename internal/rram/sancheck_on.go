@@ -21,13 +21,13 @@ func (w *Wear) sanCheckWrite(bank int, frame uint64) {
 	if w.san.lastMax == nil {
 		w.san.lastMax = make([]uint32, w.cfg.Banks) // first write, before steady state
 	}
-	f := w.frames[bank]
-	if f[frame] == 0 {
+	n := w.frames[uint64(bank)*w.cfg.FramesPerBank+frame]
+	if n == 0 {
 		sancheck.Failf("rram: bank %d frame %d write counter wrapped uint32", bank, frame)
 	}
-	if f[frame] > w.maxFrame[bank] {
+	if n > w.maxFrame[bank] {
 		sancheck.Failf("rram: bank %d hottest-frame counter %d fell below frame %d's count %d",
-			bank, w.maxFrame[bank], frame, f[frame])
+			bank, w.maxFrame[bank], frame, n)
 	}
 	if w.maxFrame[bank] < w.san.lastMax[bank] {
 		sancheck.Failf("rram: bank %d hottest-frame counter moved backwards %d -> %d (wear must be monotone between Resets)",

@@ -13,7 +13,7 @@ import (
 func TestSanitizerCatchesCounterWrap(t *testing.T) {
 	w := MustNew(Config{Banks: 2, FramesPerBank: 16, Endurance: 1e11, ClockHz: 2.4e9, CapYears: 50})
 	w.RecordWrite(1, 5)
-	w.frames[1][5] = ^uint32(0) // corrupt: one increment from wrapping
+	w.frames[1*16+5] = ^uint32(0) // corrupt: one increment from wrapping
 
 	defer func() {
 		r := recover()

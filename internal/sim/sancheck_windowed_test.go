@@ -1,0 +1,42 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/nuca"
+	"repro/internal/sancheck"
+)
+
+// TestSanitizerArmedWindowed sweeps the armed sanitizer over Systems whose
+// state lives in adopted windows rather than self-owned arrays: a fresh
+// (poisoned) window set, then a dirty-reuse refill of the same windows, for
+// every policy. Any conservation, MESI, DRAM or wear invariant that a
+// windowed backing violates — a missed adoption-time reset, a window
+// aliasing another subsystem's slots — panics out of RunMeasured here.
+func TestSanitizerArmedWindowed(t *testing.T) {
+	if !sancheck.Enabled {
+		t.Fatal("simcheck build tag set but sancheck.Enabled is false")
+	}
+	for _, p := range nuca.Policies() {
+		cfg := DefaultConfig(p)
+		apps := testApps(cfg.Cores)
+		w := windowsFor(t, cfg, true)
+		s, err := NewWindowed(cfg, apps, w)
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if _, err := s.RunMeasured(500, 2000); err != nil {
+			t.Fatalf("policy %v windowed under simcheck: %v", p, err)
+		}
+		// Dirty refill: a second System adopts the used windows unscrubbed.
+		reuse, err := NewWindowed(cfg, apps, w)
+		if err != nil {
+			t.Fatalf("policy %v reuse: %v", p, err)
+		}
+		if _, err := reuse.RunMeasured(500, 2000); err != nil {
+			t.Fatalf("policy %v dirty-reused windows under simcheck: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/nuca"
+	"repro/internal/rram"
+	"repro/internal/tlb"
+)
+
+// windowsFor allocates a correctly-shaped window set for cfg, optionally
+// pre-poisoned so adoption-time resets are actually exercised.
+func windowsFor(t *testing.T, cfg Config, poison bool) *Windows {
+	t.Helper()
+	d, err := StateDims(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Windows{
+		L1:       make(cache.Backing, uint64(d.Cores)*d.L1Lines),
+		L2:       make(cache.Backing, uint64(d.Cores)*d.L2Lines),
+		LLC:      make(cache.Backing, d.LLCLines),
+		BankFree: make([]uint64, d.LLCBanks),
+		TLB:      make(tlb.Backing, d.Cores*d.TLBEntries),
+		DRAM:     make(dram.Backing, d.DRAMWords),
+		Wear:     make(rram.Backing, d.WearWords),
+	}
+	if poison {
+		for i := range w.BankFree {
+			w.BankFree[i] = ^uint64(0)
+		}
+		for i := range w.DRAM {
+			w.DRAM[i] = 0xDEADBEEF
+		}
+		for i := range w.Wear {
+			w.Wear[i] = ^uint32(0)
+		}
+	}
+	return w
+}
+
+// TestWindowedMatchesSelfOwned is the serial-equivalence pin for the state
+// plane: a System over adopted windows — even windows poisoned with garbage
+// — must produce the byte-identical RunMeasured result of the classic
+// self-owned System, for both policies.
+func TestWindowedMatchesSelfOwned(t *testing.T) {
+	for _, p := range []nuca.Policy{nuca.SNUCA, nuca.ReNUCA} {
+		cfg := DefaultConfig(p)
+		apps := testApps(cfg.Cores)
+		ref, err := New(cfg, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.RunMeasured(1_000, 5_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewWindowed(cfg, apps, windowsFor(t, cfg, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.RunMeasured(1_000, 5_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("policy %v: windowed result diverges from self-owned", p)
+		}
+	}
+}
+
+// TestWindowedDirtyReuse pins the refill contract NewWindowed documents:
+// handing one System's windows to a second System without scrubbing — the
+// exact sequence a batch lane performs on retire/refill — must behave as if
+// the windows were fresh, because every adopting subsystem resets its
+// window. The second unit deliberately differs (other app, other seed) so
+// leaked state could not hide behind symmetry.
+func TestWindowedDirtyReuse(t *testing.T) {
+	cfg := CharacterisationConfig()
+	w := windowsFor(t, cfg, false)
+
+	first, err := NewWindowed(cfg, testApps(cfg.Cores), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.RunMeasured(1_000, 8_000); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 12345
+	apps2 := testApps(cfg.Cores + 3)[3:] // rotate the app mix
+	ref, err := New(cfg2, apps2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunMeasured(1_000, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewWindowed(cfg2, apps2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.RunMeasured(1_000, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("System over a dirty reused window diverges from a fresh self-owned System")
+	}
+}
+
+// TestWindowedSizeValidation pins that every wrongly-sized window is a
+// construction error — truncating or over-long windows must never be
+// silently adopted.
+func TestWindowedSizeValidation(t *testing.T) {
+	cfg := CharacterisationConfig()
+	apps := testApps(cfg.Cores)
+	cases := []struct {
+		name   string
+		mutate func(*Windows)
+	}{
+		{"L1 short", func(w *Windows) { w.L1 = w.L1[:len(w.L1)-1] }},
+		{"L2 long", func(w *Windows) { w.L2 = append(w.L2, w.L2[0]) }},
+		{"LLC short", func(w *Windows) { w.LLC = w.LLC[:len(w.LLC)-1] }},
+		{"BankFree short", func(w *Windows) { w.BankFree = w.BankFree[:len(w.BankFree)-1] }},
+		{"TLB long", func(w *Windows) { w.TLB = append(w.TLB, w.TLB[0]) }},
+		{"DRAM short", func(w *Windows) { w.DRAM = w.DRAM[:len(w.DRAM)-1] }},
+		{"Wear short", func(w *Windows) { w.Wear = w.Wear[:len(w.Wear)-1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := windowsFor(t, cfg, false)
+			tc.mutate(w)
+			if _, err := NewWindowed(cfg, apps, w); err == nil {
+				t.Error("wrongly-sized window was adopted without error")
+			}
+		})
+	}
+}
+
+// TestStateDimsRejectsBadGeometry pins that StateDims surfaces the same
+// geometry errors construction would, so the batch executor can vet a shape
+// before allocating a plane for it.
+func TestStateDimsRejectsBadGeometry(t *testing.T) {
+	cfg := CharacterisationConfig()
+	cfg.Cores = 0
+	if _, err := StateDims(cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = CharacterisationConfig()
+	cfg.L1.Ways = 0
+	if _, err := StateDims(cfg); err == nil {
+		t.Error("zero-way L1 accepted")
+	}
+	cfg = CharacterisationConfig()
+	d, err := StateDims(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cores != cfg.Cores || d.L1Lines == 0 || d.LLCLines == 0 || d.TLBEntries == 0 || d.DRAMWords == 0 || d.WearWords == 0 {
+		t.Errorf("degenerate dims for a valid config: %+v", d)
+	}
+}

@@ -19,7 +19,11 @@ package simbatch
 import (
 	"fmt"
 
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/rram"
 	"repro/internal/sim"
+	"repro/internal/tlb"
 )
 
 // Unit is one independent simulation work item: a constructor for its
@@ -27,8 +31,17 @@ import (
 // shape. Units are self-contained — seed, applications and configuration
 // are baked into Build — so a unit yields the identical Result whichever
 // lane runs it, in whatever order.
+//
+// A unit that also carries BuildIn and a non-zero Dims opts into the
+// batch-wide state plane: the executor hands BuildIn a per-lane window set
+// carved from plane arrays shared by all lanes (nil when the plane cannot
+// serve this unit — see stateWindow), and BuildIn must treat a nil window
+// set as "allocate privately", which sim.NewWindowed already does. Build
+// remains the required fallback and is used whenever BuildIn is nil.
 type Unit struct {
 	Build   func() (*sim.System, error)
+	BuildIn func(*sim.Windows) (*sim.System, error)
+	Dims    sim.Dims
 	Warmup  uint64
 	Measure uint64
 }
@@ -71,6 +84,28 @@ type batch struct {
 	//lint:soa
 	wake   []uint64 // shared SoA wake backing, stride slots per lane
 	stride int      // cores per lane window; 0 until the first fill
+
+	// The batch-wide state plane: the hot per-System arrays of every lane
+	// stacked into one backing allocation per kind, [lane*stride+idx], so
+	// the shared tick loop's working set is contiguous across lanes. Shapes
+	// are fixed by the first windowed unit's Dims; later units with other
+	// Dims fall back to self-owned state (nil windows), never a resize.
+	//lint:soa
+	planeL1 cache.Backing
+	//lint:soa
+	planeL2 cache.Backing
+	//lint:soa
+	planeLLC cache.Backing
+	//lint:soa
+	planeBankFree []uint64
+	//lint:soa
+	planeTLB tlb.Backing
+	//lint:soa
+	planeDRAM dram.Backing
+	//lint:soa
+	planeWear rram.Backing
+	dims      sim.Dims // plane shape; valid once haveDims
+	haveDims  bool
 
 	next   int // next unit to hand to a retiring lane
 	active int // lanes currently holding a unit
@@ -195,7 +230,13 @@ func (b *batch) fill(l int) {
 		idx := b.next
 		b.next++
 		u := b.units[idx]
-		s, err := u.Build()
+		var s *sim.System
+		var err error
+		if u.BuildIn != nil {
+			s, err = u.BuildIn(b.stateWindow(l, u.Dims))
+		} else {
+			s, err = u.Build()
+		}
 		if err != nil {
 			b.done(idx, Result{Err: err})
 			continue
@@ -237,4 +278,49 @@ func (b *batch) window(l, cores int) []uint64 {
 		return nil
 	}
 	return b.wake[l*b.stride : l*b.stride+cores]
+}
+
+// stateWindow returns lane l's window set of the batch-wide state plane,
+// allocated on first use and shaped by that first unit's Dims. The adopting
+// constructors reset every window, so a lane refilling into slots still
+// dirty from its retired predecessor is safe by construction. A zero Dims
+// (the unit never computed its shape) or a Dims differing from the plane's
+// returns nil and the unit's constructor allocates privately — mirroring
+// window's private-allocation fallback, and keeping one plane shape for
+// the batch's whole lifetime.
+//
+//lint:soawindow
+func (b *batch) stateWindow(l int, d sim.Dims) *sim.Windows {
+	if d == (sim.Dims{}) {
+		return nil
+	}
+	if !b.haveDims {
+		b.haveDims = true
+		b.dims = d
+		lanes := uint64(len(b.sys))
+		cores := uint64(d.Cores)
+		b.planeL1 = make(cache.Backing, lanes*cores*d.L1Lines)
+		b.planeL2 = make(cache.Backing, lanes*cores*d.L2Lines)
+		b.planeLLC = make(cache.Backing, lanes*d.LLCLines)
+		b.planeBankFree = make([]uint64, lanes*uint64(d.LLCBanks))
+		b.planeTLB = make(tlb.Backing, lanes*cores*uint64(d.TLBEntries))
+		b.planeDRAM = make(dram.Backing, lanes*uint64(d.DRAMWords))
+		b.planeWear = make(rram.Backing, lanes*d.WearWords)
+	}
+	if d != b.dims {
+		return nil
+	}
+	ln := uint64(l)
+	l1Stride := uint64(d.Cores) * d.L1Lines
+	l2Stride := uint64(d.Cores) * d.L2Lines
+	tlbStride := uint64(d.Cores) * uint64(d.TLBEntries)
+	return &sim.Windows{
+		L1:       b.planeL1[ln*l1Stride : (ln+1)*l1Stride],
+		L2:       b.planeL2[ln*l2Stride : (ln+1)*l2Stride],
+		LLC:      b.planeLLC[ln*d.LLCLines : (ln+1)*d.LLCLines],
+		BankFree: b.planeBankFree[l*d.LLCBanks : (l+1)*d.LLCBanks],
+		TLB:      b.planeTLB[ln*tlbStride : (ln+1)*tlbStride],
+		DRAM:     b.planeDRAM[l*d.DRAMWords : (l+1)*d.DRAMWords],
+		Wear:     b.planeWear[ln*d.WearWords : (ln+1)*d.WearWords],
+	}
 }

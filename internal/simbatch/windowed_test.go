@@ -1,0 +1,170 @@
+package simbatch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// windowedUnit is testUnit opted into the batch-wide state plane: it
+// carries BuildIn and its Dims alongside the plain Build fallback, exactly
+// as core.RunUnitsLanesFunc prepares production units.
+func windowedUnit(t *testing.T, app string, seed, warmup, measure uint64) Unit {
+	t.Helper()
+	u, cfg := testUnit(t, app, seed, warmup, measure)
+	dims, err := sim.StateDims(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.MustProfile(app)
+	u.Dims = dims
+	u.BuildIn = func(w *sim.Windows) (*sim.System, error) {
+		return sim.NewWindowed(cfg, []trace.Profile{prof}, w)
+	}
+	return u
+}
+
+// staggeredWindowedUnits mirrors staggeredUnits with every unit opted into
+// the state plane, plus one plain Build-only unit mixed in so the plane and
+// the self-owned fallback coexist in one batch.
+func staggeredWindowedUnits(t *testing.T) []Unit {
+	t.Helper()
+	apps := []string{"mcf", "hmmer", "streamL", "namd", "mcf", "hmmer", "namd"}
+	measures := []uint64{24_000, 3_000, 9_000, 6_000, 18_000, 3_000, 12_000}
+	units := make([]Unit, len(apps))
+	for i := range apps {
+		units[i] = windowedUnit(t, apps[i], uint64(i+1), 1_500, measures[i])
+	}
+	plain, _ := testUnit(t, "streamL", 99, 1_500, 7_000)
+	return append(units, plain)
+}
+
+// TestWindowedBatchMatchesSerial is the state-plane equivalence pin: units
+// living in the batch-wide SoA plane must reproduce serial results exactly
+// across lane widths — including width 1 (a one-lane plane), a width larger
+// than the unit count (the short lane group every tail batch of a sharded
+// suite produces), and a fine quantum forcing maximal lane interleaving.
+func TestWindowedBatchMatchesSerial(t *testing.T) {
+	units := staggeredWindowedUnits(t)
+	want := make([]Result, len(units))
+	for i, u := range units {
+		want[i] = serialResult(t, u)
+		if want[i].Err != nil {
+			t.Fatalf("serial unit %d failed: %v", i, want[i].Err)
+		}
+	}
+	for _, tc := range []struct {
+		lanes, quantum int
+	}{
+		{1, 0}, {2, 0}, {3, 0}, {8, 0}, {32, 0}, {4, 1},
+	} {
+		got := Run(units, tc.lanes, tc.quantum)
+		for i := range want {
+			if got[i].Err != nil {
+				t.Fatalf("lanes=%d quantum=%d: unit %d errored: %v", tc.lanes, tc.quantum, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Res, want[i].Res) {
+				t.Errorf("lanes=%d quantum=%d: unit %d diverges from serial", tc.lanes, tc.quantum, i)
+			}
+		}
+	}
+}
+
+// TestWindowedDirtyLaneRefill pins the mid-group retire/refill path of the
+// state plane: with 2 lanes over staggered windowed units, a retiring
+// lane's successor must adopt the same plane window — still dirty with the
+// predecessor's state — and every unit must still match its serial result.
+// Window identity is checked by the address of the window's first L1 frame:
+// each lane has exactly one L1 window in the plane, so a repeated address
+// proves dirty reuse rather than fresh allocation.
+func TestWindowedDirtyLaneRefill(t *testing.T) {
+	units := staggeredWindowedUnits(t)
+	units = units[:len(units)-1] // windowed units only
+	want := make([]Result, len(units))
+	for i, u := range units {
+		want[i] = serialResult(t, u)
+	}
+	windowUses := make(map[interface{}]int)
+	nonNil := 0
+	for i := range units {
+		inner := units[i].BuildIn
+		units[i].BuildIn = func(w *sim.Windows) (*sim.System, error) {
+			if w != nil {
+				nonNil++
+				windowUses[&w.L1[0]]++
+			}
+			return inner(w)
+		}
+	}
+	got := Run(units, 2, 0)
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("unit %d errored: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Res, want[i].Res) {
+			t.Errorf("unit %d diverges from serial across dirty refill", i)
+		}
+	}
+	if nonNil != len(units) {
+		t.Errorf("%d of %d windowed units received a plane window", nonNil, len(units))
+	}
+	if len(windowUses) != 2 {
+		t.Errorf("saw %d distinct lane windows, want 2 (one per lane)", len(windowUses))
+	}
+	reused := 0
+	for _, n := range windowUses {
+		if n > 1 {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Error("no lane window was ever reused: refill is not exercising dirty adoption")
+	}
+}
+
+// TestWindowedMixedDimsFallsBack pins the one-plane-shape rule: the first
+// windowed unit fixes the plane's Dims, and a later unit with different
+// Dims must get a nil window set (self-owned fallback) yet still produce
+// its exact serial result.
+func TestWindowedMixedDimsFallsBack(t *testing.T) {
+	big := windowedUnit(t, "mcf", 1, 1_000, 9_000)
+	cfg := sim.CharacterisationConfig()
+	cfg.Seed = 2
+	cfg.TLB.Entries *= 2 // different shape: TLBEntries doubles
+	prof := trace.MustProfile("hmmer")
+	dims, err := sim.StateDims(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var odd Unit
+	odd.Warmup, odd.Measure = 1_000, 4_000
+	odd.Dims = dims
+	sawNil := false
+	odd.BuildIn = func(w *sim.Windows) (*sim.System, error) {
+		if w == nil {
+			sawNil = true
+		}
+		return sim.NewWindowed(cfg, []trace.Profile{prof}, w)
+	}
+	odd.Build = func() (*sim.System, error) { return sim.New(cfg, []trace.Profile{prof}) }
+
+	units := []Unit{big, odd, windowedUnit(t, "namd", 3, 1_000, 6_000)}
+	want := make([]Result, len(units))
+	for i, u := range units {
+		want[i] = serialResult(t, u)
+	}
+	got := Run(units, 3, 0)
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("unit %d errored: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Res, want[i].Res) {
+			t.Errorf("unit %d diverges from serial in a mixed-dims batch", i)
+		}
+	}
+	if !sawNil {
+		t.Error("mismatched-dims unit received a plane window; the plane must hold one shape")
+	}
+}

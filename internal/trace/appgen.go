@@ -177,6 +177,13 @@ type AppGen struct {
 	aluDraw     drawSpec // draw range over the profile's ALU PCs
 	memAccesses uint64
 
+	// Integer thresholds (thresh53) for the per-instruction probability
+	// draws, precomputed so Next compares raw 53-bit rng values instead of
+	// converting every draw to float64 — bit-identical by construction.
+	memT uint64   // thresh53(MemFrac)
+	aluT uint64   // thresh53(ALUDep)
+	cdfT []uint64 // thresh53 of each cdf entry
+
 	// Rolling ALU dependence chain (loop-carried scalar recurrence): each
 	// chained ALU instruction consumes the previous chain member.
 	lastALU uint64
@@ -203,6 +210,8 @@ type regionState struct {
 
 	lineDraw drawSpec // draw range over the region's lines
 	pcDraw   drawSpec // draw range over the region's static PCs
+	chainT   uint64   // thresh53(ChainFrac); 0 iff ChainFrac is 0
+	storeT   uint64   // thresh53(StoreFrac); 0 iff StoreFrac is 0
 
 	// Rolling dependence chain through this region's chained loads.
 	lastChain uint64
@@ -221,12 +230,15 @@ func NewAppGen(prof Profile, seed uint64) (*AppGen, error) {
 	}
 	g.aluPCBase = hashName(prof.Name+"/alu") &^ 0x3
 	g.aluDraw = newDrawSpec(uint64(prof.ALUPCs))
+	g.memT = thresh53(prof.MemFrac)
+	g.aluT = thresh53(prof.ALUDep)
 	var cum float64
 	// Regions are laid out in disjoint gigabyte-aligned slices of the
 	// virtual address space so their footprints never overlap.
 	for i, spec := range prof.Regions {
 		cum += spec.Weight
 		g.cdf = append(g.cdf, cum)
+		g.cdfT = append(g.cdfT, thresh53(cum))
 		stride := spec.StrideBytes
 		if stride == 0 {
 			stride = 64
@@ -241,6 +253,8 @@ func NewAppGen(prof Profile, seed uint64) (*AppGen, error) {
 			pcBase:   hashName(fmt.Sprintf("%s/r%d", prof.Name, i)) &^ 0x3,
 			lineDraw: newDrawSpec(lines),
 			pcDraw:   newDrawSpec(uint64(spec.NumPCs)),
+			chainT:   thresh53(spec.ChainFrac),
+			storeT:   thresh53(spec.StoreFrac),
 		})
 	}
 	return g, nil
@@ -268,12 +282,12 @@ func (g *AppGen) Next(in *Instr) {
 		in.DepDist = 1
 		return
 	}
-	if g.r.float64() >= g.prof.MemFrac {
+	if g.r.u53() >= g.memT {
 		in.Kind = ALU
 		in.Addr = 0
 		in.PC = g.aluPCBase + 4*g.aluDraw.draw(&g.r)
 		in.DepDist = 0
-		if g.r.float64() < g.prof.ALUDep {
+		if g.r.u53() < g.aluT {
 			// Join the rolling scalar recurrence: this is what bounds IPC
 			// for compute-dominated applications.
 			if g.hasALU {
@@ -289,9 +303,9 @@ func (g *AppGen) Next(in *Instr) {
 	// implicit Hot-like traffic folded into region 0 (profiles built by
 	// DeriveProfile always carry an explicit Hot region first, so in
 	// practice the residue never triggers).
-	p := g.r.float64()
+	p := g.r.u53()
 	ri := len(g.regions) - 1
-	for i, c := range g.cdf {
+	for i, c := range g.cdfT {
 		if p < c {
 			ri = i
 			break
@@ -311,7 +325,10 @@ func (g *AppGen) Next(in *Instr) {
 	in.Kind = Load
 	in.PC = rs.pcBase + 8*rs.pcDraw.draw(&g.r)
 	in.DepDist = 0
-	if rs.spec.ChainFrac > 0 && g.r.float64() < rs.spec.ChainFrac {
+	// chainT/storeT are nonzero exactly when the source fraction is, so the
+	// rng draw count — and therefore the whole downstream sequence — is
+	// unchanged from the float-guarded original.
+	if rs.chainT > 0 && g.r.u53() < rs.chainT {
 		// Chain this load to the region's previous chained load: the
 		// address of each hop is only known once the previous hop's data
 		// arrives (pointer chasing).
@@ -321,7 +338,7 @@ func (g *AppGen) Next(in *Instr) {
 		rs.lastChain = g.seq
 		rs.hasChain = true
 	}
-	if rs.spec.StoreFrac > 0 && g.r.float64() < rs.spec.StoreFrac {
+	if rs.storeT > 0 && g.r.u53() < rs.storeT {
 		g.pendingStore = true
 		g.pendingAddr = in.Addr
 		g.pendingPC = in.PC

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestThresh53MatchesFloatCompare pins the integer-threshold substitution:
+// for probability fractions spanning magnitudes, exact dyadics, and the
+// CDF sums the profiles actually produce, the u < thresh53(f) compare must
+// agree with the float64(u)*0x1p-53 < f compare for every draw — including
+// the boundary draws directly at and adjacent to the threshold.
+func TestThresh53MatchesFloatCompare(t *testing.T) {
+	fracs := []float64{
+		0, 1, 0.5, 0.25, 1.0 / 3, 0.05, 0.3, 0.7, 0.97, 1e-9, 1 - 1e-15,
+		0x1p-53, 0x1p-52, math.Nextafter(0.3, 0), math.Nextafter(0.3, 1),
+		0.15 + 0.35, 0.15 + 0.35 + 0.45, // accumulated CDF-style sums
+	}
+	r := newRNG(42)
+	for _, f := range fracs {
+		th := thresh53(f)
+		check := func(u uint64) {
+			if u >= 1<<53 {
+				return
+			}
+			want := float64(u)*0x1p-53 < f
+			if got := u < th; got != want {
+				t.Errorf("f=%v u=%d: integer compare %v, float compare %v", f, u, got, want)
+			}
+		}
+		// Boundary draws around the threshold itself.
+		if th > 0 {
+			check(th - 1)
+		}
+		check(th)
+		check(th + 1)
+		// Random draws.
+		for i := 0; i < 2000; i++ {
+			check(r.u53())
+		}
+	}
+}

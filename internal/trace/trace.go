@@ -8,6 +8,8 @@
 // Table II. See DESIGN.md section 2 for the substitution argument.
 package trace
 
+import "math"
+
 // Kind classifies a dynamic instruction. The cycle model only distinguishes
 // memory operations from everything else; ALU stands in for all non-memory
 // work (integer, FP, branches).
@@ -85,6 +87,27 @@ func (r *rng) next() uint64 {
 // but avoids the hardware divide on the per-instruction hot path.
 func (r *rng) float64() float64 {
 	return float64(r.next()>>11) * 0x1p-53
+}
+
+// u53 returns the 53-bit integer u underlying one float64() draw:
+// float64() would have returned float64(u) * 0x1p-53. Comparing u against a
+// thresh53 threshold is bit-identical to comparing float64() against the
+// original fraction, with no int-to-float conversion on the draw path.
+func (r *rng) u53() uint64 { return r.next() >> 11 }
+
+// thresh53 converts a probability into the integer threshold t such that,
+// for every 53-bit draw u, u < t exactly when float64(u)*0x1p-53 < f. Both
+// f*0x1p53 (a pure exponent shift for f in (0,1)) and the Ceil are exact in
+// float64, and any integer u < f*2^53 iff u < ceil(f*2^53), so the integer
+// compare reproduces the float compare bit-for-bit — traces are unchanged.
+func thresh53(f float64) uint64 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(f * 0x1p53))
 }
 
 // drawSpec is a memoised uniform-draw range: n is fixed when the generator
